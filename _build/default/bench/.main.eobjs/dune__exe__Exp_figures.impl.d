@@ -1,0 +1,1 @@
+bench/exp_figures.ml: Array Defender Exact Exp_util Fun Gc Gen Graph Harness List Matching Netgraph Printf Prng Sim

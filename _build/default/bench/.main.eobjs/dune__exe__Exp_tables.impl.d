@@ -1,0 +1,1 @@
+bench/exp_tables.ml: Array Defender Exact Exp_util Fun Gen Graph Harness List Matching Netgraph Printf Prng Result Sim String

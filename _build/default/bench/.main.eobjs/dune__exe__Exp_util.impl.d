@@ -1,0 +1,1 @@
+bench/exp_util.ml: Defender Exact Netgraph

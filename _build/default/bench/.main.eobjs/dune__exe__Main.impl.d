@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_figures Exp_tables Micro Printf Sys

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Defender Harness Hashtbl Instance List Matching Measure Netgraph Option Printf Prng Sim Staged Test Time Toolkit

@@ -1,0 +1,669 @@
+(* Table experiments T1-T7 (see EXPERIMENTS.md): each regenerates one
+   quantitative claim of the paper as an aligned table, cross-validated
+   against an independent oracle where one exists. *)
+
+open Netgraph
+open Exp_util
+module Q = Exact.Q
+module V = Defender.Verify
+
+(* T1 — Theorem 3.1 / Corollary 3.2: pure NE exists iff an edge cover of
+   size k exists; polynomial decision vs brute-force oracle. *)
+let t1 () =
+  let table =
+    Harness.Table.create ~title:"T1: pure NE existence (Theorem 3.1) vs brute force"
+      ~columns:[ "graph"; "n"; "m"; "rho"; "k"; "theorem"; "brute"; "agree" ]
+  in
+  let mismatches = ref 0 in
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun k ->
+          if k <= Graph.m g then begin
+            let m = model ~g ~nu:2 ~k in
+            let thm = Defender.Pure_nash.exists m in
+            let brute = Defender.Pure_nash.exists_brute_force m in
+            if thm <> brute then incr mismatches;
+            Harness.Table.add_row table
+              [
+                name;
+                string_of_int (Graph.n g);
+                string_of_int (Graph.m g);
+                string_of_int (Matching.Edge_cover.rho g);
+                string_of_int k;
+                yesno thm;
+                yesno brute;
+                checkmark (thm = brute);
+              ]
+          end)
+        [ 1; 2; 3 ])
+    (small_atlas ());
+  Harness.Table.print table;
+  Printf.printf "T1 mismatches: %d (paper: 0 expected)\n\n" !mismatches
+
+(* T2 — Corollary 3.3: n >= 2k+1 forces non-existence; the n = 2k boundary
+   admits pure NE exactly when a perfect cover of size k exists. *)
+let t2 () =
+  let table =
+    Harness.Table.create ~title:"T2: the n = 2k+1 boundary (Corollary 3.3)"
+      ~columns:[ "family"; "k"; "n"; "n>=2k+1"; "pure NE"; "consistent" ]
+  in
+  let consistent = ref true in
+  let families =
+    [
+      ("path", fun n -> if n >= 2 then Some (Gen.path n) else None);
+      ("cycle", fun n -> if n >= 3 then Some (Gen.cycle n) else None);
+      ("complete", fun n -> if n >= 2 then Some (Gen.complete n) else None);
+    ]
+  in
+  List.iter
+    (fun (fam, make) ->
+      List.iter
+        (fun k ->
+          List.iter
+            (fun n ->
+              match make n with
+              | Some g when k <= Graph.m g ->
+                  let m = model ~g ~nu:2 ~k in
+                  let exists = Defender.Pure_nash.exists m in
+                  let boundary = n >= (2 * k) + 1 in
+                  let row_ok = not (boundary && exists) in
+                  if not row_ok then consistent := false;
+                  Harness.Table.add_row table
+                    [
+                      fam;
+                      string_of_int k;
+                      string_of_int n;
+                      yesno boundary;
+                      yesno exists;
+                      checkmark row_ok;
+                    ]
+              | _ -> ())
+            [ (2 * k) - 1; 2 * k; (2 * k) + 1; (2 * k) + 2 ])
+        [ 1; 2; 3 ])
+    families;
+  Harness.Table.print table;
+  Printf.printf "T2 corollary violated: %s (paper: never)\n\n"
+    (if !consistent then "never" else "VIOLATED")
+
+(* T3 — Theorem 3.4: the characterization agrees with the definitional
+   best-response check on random profiles.  Known exception (DESIGN.md):
+   "saturating" NEs with IP_tp = nu, where the defender already catches
+   everyone and its indifference stops forcing the vertex-cover condition;
+   every disagreement must be of that kind. *)
+let t3 () =
+  let rng = Prng.Rng.create 31337 in
+  let total = ref 0
+  and nash = ref 0
+  and agree = ref 0
+  and saturating = ref 0
+  and unexplained = ref 0 in
+  while !total < 150 do
+    let g = Gen.gnp_connected rng ~n:(4 + Prng.Rng.int rng 3) ~p:0.4 in
+    let nu = 1 + Prng.Rng.int rng 3 in
+    let k = 1 + Prng.Rng.int rng (min 2 (Graph.m g)) in
+    let m = model ~g ~nu ~k in
+    let vertices = Array.init (Graph.n g) Fun.id in
+    let support =
+      Array.to_list
+        (Prng.Rng.sample_without_replacement rng
+           ~count:(1 + Prng.Rng.int rng (Graph.n g))
+           vertices)
+    in
+    let edge_ids = Array.init (Graph.m g) Fun.id in
+    let tuples =
+      List.init
+        (1 + Prng.Rng.int rng 3)
+        (fun _ ->
+          Defender.Tuple.of_list g
+            (Array.to_list (Prng.Rng.sample_without_replacement rng ~count:k edge_ids)))
+      |> List.sort_uniq Defender.Tuple.compare
+    in
+    let prof = Defender.Profile.uniform m ~vp_support:support ~tp_support:tuples in
+    incr total;
+    let direct = V.verdict_is_confirmed (V.mixed_ne (V.Exhaustive 500_000) prof) in
+    let characterized = Defender.Characterization.holds (V.Exhaustive 500_000) prof in
+    if direct then incr nash;
+    if direct = characterized then incr agree
+    else if
+      direct
+      && Q.equal (Defender.Profit.expected_tp prof) (Q.of_int nu)
+    then incr saturating
+    else incr unexplained
+  done;
+  let table =
+    Harness.Table.create
+      ~title:"T3: Theorem 3.4 characterization vs definitional NE check"
+      ~columns:
+        [
+          "random profiles";
+          "NEs found";
+          "agreements";
+          "saturating exceptions";
+          "unexplained";
+        ]
+  in
+  Harness.Table.add_row table
+    [
+      string_of_int !total;
+      string_of_int !nash;
+      string_of_int !agree;
+      string_of_int !saturating;
+      string_of_int !unexplained;
+    ];
+  Harness.Table.print table;
+  Printf.printf
+    "T3: the saturating exceptions (defender already catches all nu attackers \
+     w.p. 1) are the\n\
+     documented gap in the paper's necessity proof — DESIGN.md proves the \
+     equivalence whenever\n\
+     IP_tp < nu, so 'unexplained' must be 0.\n\n"
+
+(* T4 — Lemma 4.1 + Claim 4.9: the A_tuple construction is an NE; the
+   cyclic lift uses delta = E/gcd(E,k) tuples, each edge in k/gcd(E,k). *)
+let t4 () =
+  let table =
+    Harness.Table.create ~title:"T4: k-matching NE construction (Lemma 4.1, Claim 4.9)"
+      ~columns:
+        [ "graph"; "k"; "|IS|=E_num"; "delta"; "per-edge mult"; "claim 4.9"; "NE verified" ]
+  in
+  List.iter
+    (fun (name, g) ->
+      match Defender.Matching_nash.find_partition g with
+      | None -> ()
+      | Some p ->
+          let is_size = List.length p.Defender.Matching_nash.is in
+          List.iter
+            (fun k ->
+              if k >= 1 && k <= is_size then begin
+                let m = model ~g ~nu:3 ~k in
+                let prof = ok (Defender.Tuple_nash.a_tuple m p) in
+                let tuples = Defender.Profile.tp_support prof in
+                let edges = Defender.Profile.tp_support_edges prof in
+                let delta = Defender.Tuple_nash.delta ~e_num:is_size ~k in
+                let mult = Defender.Tuple_nash.multiplicity ~e_num:is_size ~k in
+                let claim49 =
+                  List.length tuples = delta
+                  && List.for_all
+                       (fun id ->
+                         List.length
+                           (List.filter
+                              (fun t -> Defender.Tuple.contains_edge t id)
+                              tuples)
+                         = mult)
+                       edges
+                in
+                let verified =
+                  V.verdict_is_confirmed (V.mixed_ne V.Certificate prof)
+                in
+                Harness.Table.add_row table
+                  [
+                    name;
+                    string_of_int k;
+                    string_of_int is_size;
+                    string_of_int delta;
+                    string_of_int mult;
+                    checkmark claim49;
+                    yesno verified;
+                  ]
+              end)
+            (List.sort_uniq compare [ 1; 2; 3; is_size ])
+        )
+    (small_atlas ());
+  Harness.Table.print table;
+  print_newline ()
+
+(* T5 — Theorem 4.5: the reduction works in both directions and round
+   trips; the k <= |IS| feasibility boundary is sharp. *)
+let t5 () =
+  let table =
+    Harness.Table.create ~title:"T5: the Theorem 4.5 reduction, both directions"
+      ~columns:[ "graph"; "|IS|"; "k"; "lift"; "back"; "round trip"; "k=|IS|+1" ]
+  in
+  List.iter
+    (fun (name, g) ->
+      match Defender.Matching_nash.solve_auto (model ~g ~nu:3 ~k:1) with
+      | Error _ -> ()
+      | Ok edge_prof ->
+          let is_size = List.length (Defender.Profile.vp_support_union edge_prof) in
+          List.iter
+            (fun k ->
+              if k >= 1 && k <= is_size && k <= Graph.m g then begin
+                let lift = Defender.Reduction.edge_to_tuple ~k edge_prof in
+                let lift_ok = Result.is_ok lift in
+                let back_ok =
+                  match lift with
+                  | Ok lifted ->
+                      Defender.Matching_nash.is_matching_configuration
+                        (Defender.Reduction.tuple_to_edge lifted)
+                  | Error _ -> false
+                in
+                let rt = Defender.Reduction.round_trip_preserves ~k edge_prof in
+                let beyond =
+                  if is_size + 1 <= Graph.m g then
+                    match Defender.Reduction.edge_to_tuple ~k:(is_size + 1) edge_prof with
+                    | Error _ -> "refused"
+                    | Ok _ -> "ACCEPTED?!"
+                  else "n/a"
+                in
+                Harness.Table.add_row table
+                  [
+                    name;
+                    string_of_int is_size;
+                    string_of_int k;
+                    yesno lift_ok;
+                    yesno back_ok;
+                    checkmark rt;
+                    beyond;
+                  ]
+              end)
+            (List.sort_uniq compare [ 1; 2; is_size ])
+        )
+    (small_atlas ());
+  Harness.Table.print table;
+  print_newline ()
+
+(* T6 — Corollaries 4.7/4.10: IP_tp(k-matching NE) = k*nu/|IS| exactly. *)
+let t6 () =
+  let table =
+    Harness.Table.create
+      ~title:"T6: defender gain IP_tp = k*nu/|IS| (Corollaries 4.7/4.10, exact)"
+      ~columns:[ "graph"; "nu"; "|IS|"; "k"; "IP_tp(1)"; "IP_tp(k)"; "ratio"; "= k" ]
+  in
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun nu ->
+          match Defender.Matching_nash.solve_auto (model ~g ~nu ~k:1) with
+          | Error _ -> ()
+          | Ok edge_prof ->
+              let is_size =
+                List.length (Defender.Profile.vp_support_union edge_prof)
+              in
+              let base = Defender.Gain.defender_gain edge_prof in
+              List.iter
+                (fun k ->
+                  if k >= 2 && k <= is_size then
+                    match Defender.Reduction.edge_to_tuple ~k edge_prof with
+                    | Error _ -> ()
+                    | Ok lifted ->
+                        let gain = Defender.Gain.defender_gain lifted in
+                        let ratio = Defender.Gain.gain_ratio lifted edge_prof in
+                        Harness.Table.add_row table
+                          [
+                            name;
+                            string_of_int nu;
+                            string_of_int is_size;
+                            string_of_int k;
+                            q_str base;
+                            q_str gain;
+                            q_str ratio;
+                            checkmark (Q.equal ratio (Q.of_int k));
+                          ])
+                (List.sort_uniq compare [ 2; 3; is_size ]))
+        [ 1; 5 ])
+    [ List.nth (small_atlas ()) 1; List.nth (small_atlas ()) 3;
+      ("K(3,3)", Gen.complete_bipartite 3 3); ("grid-3x3", Gen.grid 3 3);
+      ("star-6", Gen.star 6) ];
+  Harness.Table.print table;
+  print_newline ()
+
+(* T7 — equations (1)-(2): analytic expected profits match empirical play
+   (Monte Carlo, 4-sigma band). *)
+let t7 () =
+  let table =
+    Harness.Table.create ~title:"T7: analytic vs Monte-Carlo defender gain"
+      ~columns:[ "graph"; "nu"; "k"; "analytic"; "simulated"; "|delta|"; "within 4sd" ]
+  in
+  let cases =
+    [
+      ("path-6", Gen.path 6, 4, 2);
+      ("cycle-8", Gen.cycle 8, 5, 3);
+      ("star-7", Gen.star 7, 3, 2);
+      ("K(3,4)", Gen.complete_bipartite 3 4, 6, 2);
+      ("grid-3x3", Gen.grid 3 3, 4, 3);
+      ("tree-d3", Gen.binary_tree 3, 5, 4);
+    ]
+  in
+  List.iter
+    (fun (name, g, nu, k) ->
+      let m = model ~g ~nu ~k in
+      let prof = ok (Defender.Tuple_nash.a_tuple_auto m) in
+      let stats = Sim.Engine.play (Prng.Rng.create 9090) prof ~rounds:30_000 in
+      let analytic = Q.to_float (Defender.Gain.defender_gain prof) in
+      Harness.Table.add_row table
+        [
+          name;
+          string_of_int nu;
+          string_of_int k;
+          Printf.sprintf "%.4f" analytic;
+          Printf.sprintf "%.4f" stats.Sim.Engine.mean_caught;
+          Printf.sprintf "%.4f" (abs_float (analytic -. stats.Sim.Engine.mean_caught));
+          yesno (Sim.Engine.agrees_with_analytic stats prof);
+        ])
+    cases;
+  Harness.Table.print table;
+  print_newline ()
+
+(* A1 — ablation beyond the paper: how much of the NE defense's value
+   comes from randomization?  Deterministic and naive baselines against a
+   learning attacker. *)
+let a1 () =
+  let rng = Prng.Rng.create 5150 in
+  let g = Gen.enterprise rng ~core:5 ~leaves:12 ~uplinks:2 in
+  let nu = 6 in
+  (* Non-bipartite topology: fall back to the best bipartite subinstance
+     is out of scope; use a grid instead when no partition exists. *)
+  let g, note =
+    match Defender.Matching_nash.find_partition g with
+    | Some _ -> (g, "enterprise 5+12")
+    | None -> (Gen.grid 3 5, "grid-3x5 (enterprise graph admits no k-matching NE)")
+  in
+  let k = 3 in
+  let m = model ~g ~nu ~k in
+  let prof = ok (Defender.Tuple_nash.a_tuple_auto m) in
+  let attacker = Sim.Workload.Attacker_adaptive { epsilon = 0.1 } in
+  let table =
+    Harness.Table.create
+      ~title:(Printf.sprintf "A1 (ablation): defenses vs adaptive attacker on %s" note)
+      ~columns:[ "defense"; "mean caught/round"; "vs NE analytic" ]
+  in
+  let analytic = Q.to_float (Defender.Gain.defender_gain prof) in
+  List.iter
+    (fun defender ->
+      let o =
+        Sim.Workload.run (Prng.Rng.create 2222) m ~attacker ~defender ~rounds:25_000
+      in
+      Harness.Table.add_row table
+        [
+          Sim.Workload.policy_name defender;
+          Printf.sprintf "%.3f" o.Sim.Workload.mean_caught;
+          Printf.sprintf "%+.3f" (o.Sim.Workload.mean_caught -. analytic);
+        ])
+    [
+      Sim.Workload.Defender_fixed (Defender.Profile.tp_strategy prof);
+      Sim.Workload.Defender_uniform_tuple;
+      Sim.Workload.Defender_greedy { epsilon = 0.1 };
+      Sim.Workload.Defender_round_robin;
+    ];
+  Harness.Table.print table;
+  Printf.printf "A1 NE analytic floor: %.3f\n\n" analytic
+
+(* T8 — extension: the max-min ("paranoid") defense vs the equilibrium
+   defense.  Exact-LP fractional edge covers: on bipartite graphs
+   rho* = rho = |IS| so the NE defense is max-min optimal; on
+   non-bipartite graphs without matching NEs the LP still produces the
+   optimal conservative schedule, strictly better than integral covers. *)
+let t8 () =
+  let table =
+    Harness.Table.create
+      ~title:"T8 (extension): max-min defense (exact LP) vs matching-NE defense, k = 1"
+      ~columns:
+        [ "graph"; "rho"; "rho* (LP)"; "max-min hit"; "NE hit floor 1/|IS|"; "relation" ]
+  in
+  List.iter
+    (fun (name, g) ->
+      let d = Defender.Minimax.solve g in
+      let rho = Matching.Edge_cover.rho g in
+      let ne_floor =
+        match Defender.Matching_nash.find_partition g with
+        | Some p -> Some (List.length p.Defender.Matching_nash.is)
+        | None -> None
+      in
+      let relation =
+        match ne_floor with
+        | Some is_size when Q.equal d.Defender.Minimax.value (Q.make 1 is_size) ->
+            "NE defense is max-min optimal"
+        | Some _ -> "NE weaker than max-min"
+        | None ->
+            if Q.( > ) d.Defender.Minimax.value (Q.make 1 rho) then
+              "no matching NE; LP beats every integral cover"
+            else "no matching NE"
+      in
+      Harness.Table.add_row table
+        [
+          name;
+          string_of_int rho;
+          q_str d.Defender.Minimax.rho_star;
+          q_str d.Defender.Minimax.value;
+          (match ne_floor with
+          | Some s -> q_str (Q.make 1 s)
+          | None -> "-");
+          relation;
+        ])
+    (small_atlas ());
+  Harness.Table.print table;
+  print_newline ()
+
+(* T9 — extension (Path model of [8]): the defender-power threshold for
+   pure equilibria under path-constrained scans vs free tuples. *)
+let t9 () =
+  let table =
+    Harness.Table.create
+      ~title:"T9 (extension): pure-NE power thresholds, Tuple model vs Path model"
+      ~columns:[ "graph"; "n"; "tuple model (rho)"; "path model (n-1 if traceable)" ]
+  in
+  List.iter
+    (fun (name, g) ->
+      if Graph.n g <= 22 then begin
+        let rho, path_k = Defender.Path_model.pure_thresholds g in
+        Harness.Table.add_row table
+          [
+            name;
+            string_of_int (Graph.n g);
+            string_of_int rho;
+            (match path_k with
+            | Some k -> string_of_int k
+            | None -> "never (no Hamiltonian path)");
+          ]
+      end)
+    (small_atlas ());
+  Harness.Table.print table;
+  Printf.printf
+    "T9: constraining the defender to paths raises the pure-NE threshold from \
+     rho(G) to n-1,\n\
+     and only on traceable graphs — quantifying how much strategy-space freedom \
+     is worth.\n\n"
+
+(* T10 — extension: weighted attackers.  The k-matching NE survives any
+   damage-weight vector and the gain law becomes IP_tp = k*W/|IS|. *)
+let t10 () =
+  let table =
+    Harness.Table.create
+      ~title:"T10 (extension): weighted attackers — arrested damage = k*W/|IS|"
+      ~columns:[ "graph"; "k"; "weights"; "W"; "|IS|"; "arrested damage"; "verified" ]
+  in
+  let cases =
+    [
+      ("path-6", Gen.path 6, 2, [ Q.of_int 5; Q.one; Q.make 1 2 ]);
+      ("star-6", Gen.star 6, 3, [ Q.of_int 10; Q.of_int 10 ]);
+      ("grid-2x3", Gen.grid 2 3, 1, [ Q.one; Q.make 2 3; Q.make 1 3 ]);
+      ("K(3,3)", Gen.complete_bipartite 3 3, 2, [ Q.of_int 7 ]);
+      ("cycle-8", Gen.cycle 8, 3, [ Q.one; Q.of_int 2; Q.of_int 3; Q.of_int 4 ]);
+    ]
+  in
+  List.iter
+    (fun (name, g, k, weights) ->
+      let m = model ~g ~nu:(List.length weights) ~k in
+      let w = Defender.Weighted.make m ~weights in
+      match Defender.Matching_nash.find_partition g with
+      | None -> ()
+      | Some p ->
+          let prof = ok (Defender.Weighted.a_tuple w p) in
+          let is_size = List.length p.Defender.Matching_nash.is in
+          let damage = Defender.Weighted.expected_tp w prof in
+          let predicted = Defender.Weighted.predicted_gain w ~is_size in
+          let verified =
+            Defender.Verify.verdict_is_confirmed (Defender.Weighted.verify_ne w prof)
+            && Q.equal damage predicted
+          in
+          Harness.Table.add_row table
+            [
+              name;
+              string_of_int k;
+              String.concat "," (List.map Q.to_string weights);
+              q_str (Defender.Weighted.total_weight w);
+              string_of_int is_size;
+              q_str damage;
+              yesno verified;
+            ])
+    cases;
+  Harness.Table.print table;
+  print_newline ()
+
+(* T11 — extension: selection-independence of the matching-NE gain.
+   Derived invariant (proof in DESIGN.md): every admissible (IS,VC)
+   partition has |IS| = alpha(G) = rho(G), so all matching NEs share the
+   gain k*nu/rho, and they exist only on Koenig-Egervary graphs
+   (tau = mu).  The table verifies all three identities empirically. *)
+let t11 () =
+  let table =
+    Harness.Table.create
+      ~title:
+        "T11 (extension): matching-NE gain is selection-independent (|IS| = alpha = rho)"
+      ~columns:
+        [ "graph"; "#admissible"; "|IS| range"; "alpha"; "rho"; "tau=mu"; "invariant" ]
+  in
+  let violations = ref 0 in
+  List.iter
+    (fun (name, g) ->
+      if Graph.n g <= 20 then begin
+        let all = Defender.Matching_nash.all_partitions g in
+        let alpha = Matching.Independent.independence_number g in
+        let rho = Matching.Edge_cover.rho g in
+        let mu = Matching.Blossom.matching_number g in
+        let tau = Graph.n g - alpha in
+        match all with
+        | [] ->
+            Harness.Table.add_row table
+              [
+                name; "0"; "-"; string_of_int alpha; string_of_int rho;
+                yesno (tau = mu); "n/a (no matching NE)";
+              ]
+        | _ ->
+            let sizes =
+              List.map (fun p -> List.length p.Defender.Matching_nash.is) all
+            in
+            let lo = List.fold_left min (List.hd sizes) sizes in
+            let hi = List.fold_left max (List.hd sizes) sizes in
+            let invariant = lo = hi && lo = alpha && alpha = rho && tau = mu in
+            if not invariant then incr violations;
+            Harness.Table.add_row table
+              [
+                name;
+                string_of_int (List.length all);
+                Printf.sprintf "%d..%d" lo hi;
+                string_of_int alpha;
+                string_of_int rho;
+                yesno (tau = mu);
+                checkmark invariant;
+              ]
+      end)
+    (small_atlas ());
+  Harness.Table.print table;
+  Printf.printf
+    "T11 invariant violations: %d (theory: 0 — so equilibrium selection never \
+     changes the gain)\n\n"
+    !violations
+
+(* T12 — extension: symmetric-equilibrium census by support enumeration
+   (exact indifference solves).  Finds equilibria the paper's
+   constructions cannot: e.g. C5 has no matching NE, yet carries a unique
+   full-support symmetric NE whose gain equals nu times the LP max-min
+   value — the two extension layers agree. *)
+let t12 () =
+  let table =
+    Harness.Table.create
+      ~title:"T12 (extension): symmetric-NE census via support enumeration (k = 1, nu = 3)"
+      ~columns:
+        [ "graph"; "#NEs"; "gains"; "matching NE?"; "nu * max-min value" ]
+  in
+  let census name g =
+    let nu = 3 in
+    let m = model ~g ~nu ~k:1 in
+    let candidates =
+      List.init (Graph.m g) (fun id -> Defender.Tuple.of_list g [ id ])
+    in
+    let nes = Defender.Support_solver.search m ~candidate_tuples:candidates in
+    let gains =
+      List.sort_uniq Q.compare (List.map Defender.Gain.defender_gain nes)
+    in
+    let minimax = (Defender.Minimax.solve g).Defender.Minimax.value in
+    Harness.Table.add_row table
+      [
+        name;
+        string_of_int (List.length nes);
+        String.concat " " (List.map Q.to_string gains);
+        yesno (Defender.Matching_nash.find_partition g <> None);
+        q_str (Q.mul_int minimax nu);
+      ]
+  in
+  census "path-4" (Gen.path 4);
+  census "cycle-4" (Gen.cycle 4);
+  census "cycle-5" (Gen.cycle 5);
+  census "star-5" (Gen.star 5);
+  census "paw" (Graph.make ~n:4 [ (0, 1); (1, 2); (0, 2); (2, 3) ]);
+  census "complete-4" (Gen.complete 4);
+  census "diamond" (Graph.make ~n:4 [ (0, 1); (1, 2); (2, 3); (0, 3); (0, 2) ]);
+  Harness.Table.print table;
+  Printf.printf
+    "T12: every equilibrium found has gain EXACTLY nu * max-min — consistent with \
+     the game's\n\
+     zero-sum structure forcing a unique equilibrium value.  complete-4 shows the \
+     census's\n\
+     square-support limitation: its equilibria need |S| <> |T| (underdetermined \
+     indifference\n\
+     systems), which the solver deliberately reports as ambiguous rather than \
+     guessing.\n\n"
+
+(* A2 — failure injection: a flaky scanner loses exactly the failed
+   fraction of the equilibrium gain — graceful, linear degradation. *)
+let a2 () =
+  let g = Gen.path 8 in
+  let nu = 4 and k = 2 in
+  let m = model ~g ~nu ~k in
+  let prof = ok (Defender.Tuple_nash.a_tuple_auto m) in
+  let analytic = Q.to_float (Defender.Gain.defender_gain prof) in
+  let attacker = Sim.Workload.Attacker_fixed (Defender.Profile.vp_strategy prof 0) in
+  let table =
+    Harness.Table.create
+      ~title:"A2 (failure injection): flaky NE scanner, gain vs outage rate"
+      ~columns:[ "failure rate"; "measured gain"; "predicted (1-f)*gain"; "delta" ]
+  in
+  List.iter
+    (fun f ->
+      let base = Sim.Workload.Defender_fixed (Defender.Profile.tp_strategy prof) in
+      let defender =
+        if f = 0.0 then base
+        else Sim.Workload.Defender_flaky { base; failure_rate = f }
+      in
+      let o =
+        Sim.Workload.run (Prng.Rng.create 4321) m ~attacker ~defender ~rounds:30_000
+      in
+      let predicted = (1.0 -. f) *. analytic in
+      Harness.Table.add_row table
+        [
+          Printf.sprintf "%.2f" f;
+          Printf.sprintf "%.4f" o.Sim.Workload.mean_caught;
+          Printf.sprintf "%.4f" predicted;
+          Printf.sprintf "%+.4f" (o.Sim.Workload.mean_caught -. predicted);
+        ])
+    [ 0.0; 0.1; 0.2; 0.3; 0.4; 0.5 ];
+  Harness.Table.print table;
+  print_newline ()
+
+let run_all () =
+  t1 ();
+  t2 ();
+  t3 ();
+  t4 ();
+  t5 ();
+  t6 ();
+  t7 ();
+  t8 ();
+  t9 ();
+  t10 ();
+  t11 ();
+  t12 ();
+  a1 ();
+  a2 ()

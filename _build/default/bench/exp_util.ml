@@ -1,0 +1,19 @@
+(* Shared helpers for the experiment harness. *)
+
+module Q = Exact.Q
+
+let ok = function
+  | Ok x -> x
+  | Error e -> failwith ("experiment setup failed: " ^ e)
+
+let model ~g ~nu ~k = Defender.Model.make ~graph:g ~nu ~k
+
+let yesno b = if b then "yes" else "no"
+
+(* Atlas restricted to instances whose full tuple space stays enumerable
+   for the k values a table sweeps. *)
+let small_atlas () = Netgraph.Gen.atlas_small ()
+
+let q_str = Q.to_string
+
+let checkmark ok = if ok then "ok" else "MISMATCH"

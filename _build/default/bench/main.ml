@@ -1,0 +1,27 @@
+(* Benchmark harness entry point: regenerates every experiment of
+   EXPERIMENTS.md (tables T1-T7 and ablation A1, figures F1-F4, Bechamel
+   microbenchmarks B1-B6).
+
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- tables  # only the tables
+     dune exec bench/main.exe -- figures # only the figures
+     dune exec bench/main.exe -- micro   # only the microbenchmarks
+*)
+
+let () =
+  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  Printf.printf
+    "Reproduction harness: \"The Power of the Defender\" (ICDCS 2006)\n\
+     ================================================================\n\n";
+  (match what with
+  | "tables" -> Exp_tables.run_all ()
+  | "figures" -> Exp_figures.run_all ()
+  | "micro" -> Micro.run_all ()
+  | "all" ->
+      Exp_tables.run_all ();
+      Exp_figures.run_all ();
+      Micro.run_all ()
+  | other ->
+      Printf.eprintf "unknown selector %S (use tables|figures|micro|all)\n" other;
+      exit 2);
+  print_endline "done."

@@ -1,0 +1,89 @@
+(* B1-B6: Bechamel microbenchmarks of the computational kernels.  Results
+   are printed as a plain table (ns/run from the OLS estimate against the
+   monotonic clock), keeping the output diffable. *)
+
+open Bechamel
+open Toolkit
+
+let make_tests () =
+  let rng = Prng.Rng.create 12321 in
+  let bip = Netgraph.Gen.random_bipartite rng ~a:100 ~b:120 ~p:0.05 in
+  let gnp = Netgraph.Gen.gnp_connected rng ~n:120 ~p:0.06 in
+  let grid = Netgraph.Gen.grid 8 10 in
+  let grid_model = Defender.Model.make ~graph:grid ~nu:6 ~k:5 in
+  let grid_partition =
+    match Defender.Matching_nash.find_partition grid with
+    | Some p -> p
+    | None -> failwith "grid partition"
+  in
+  let edge_prof =
+    match
+      Defender.Matching_nash.solve
+        (Defender.Model.make ~graph:grid ~nu:6 ~k:1)
+        grid_partition
+    with
+    | Ok p -> p
+    | Error e -> failwith e
+  in
+  let ne_prof =
+    match Defender.Tuple_nash.a_tuple grid_model grid_partition with
+    | Ok p -> p
+    | Error e -> failwith e
+  in
+  let sim_rng = Prng.Rng.create 777 in
+  [
+    Test.make ~name:"B1 hopcroft-karp (n=220 bipartite)"
+      (Staged.stage (fun () ->
+           ignore (Matching.Hopcroft_karp.max_matching_bipartite bip)));
+    Test.make ~name:"B2 blossom (n=120 gnp)"
+      (Staged.stage (fun () -> ignore (Matching.Blossom.max_matching gnp)));
+    Test.make ~name:"B3 min edge cover (n=120 gnp)"
+      (Staged.stage (fun () -> ignore (Matching.Edge_cover.minimum gnp)));
+    Test.make ~name:"B4 A_tuple (grid 8x10, k=5)"
+      (Staged.stage (fun () ->
+           ignore (Defender.Tuple_nash.a_tuple grid_model grid_partition)));
+    Test.make ~name:"B5 reduction lift k=5 (grid 8x10)"
+      (Staged.stage (fun () ->
+           ignore (Defender.Reduction.edge_to_tuple ~k:5 edge_prof)));
+    Test.make ~name:"B6 simulator 100 rounds (grid 8x10)"
+      (Staged.stage (fun () ->
+           ignore (Sim.Engine.play sim_rng ne_prof ~rounds:100)));
+  ]
+
+let run_all () =
+  let tests = Test.make_grouped ~name:"kernels" (make_tests ()) in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let table =
+    Harness.Table.create ~title:"B1-B6: microbenchmarks (Bechamel OLS)"
+      ~columns:[ "kernel"; "time/run"; "r^2" ]
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let estimate =
+        match Analyze.OLS.estimates ols_result with
+        | Some (t :: _) -> t
+        | _ -> nan
+      in
+      let r2 = Option.value (Analyze.OLS.r_square ols_result) ~default:nan in
+      let human =
+        if estimate > 1e9 then Printf.sprintf "%.3f s" (estimate /. 1e9)
+        else if estimate > 1e6 then Printf.sprintf "%.3f ms" (estimate /. 1e6)
+        else if estimate > 1e3 then Printf.sprintf "%.3f us" (estimate /. 1e3)
+        else Printf.sprintf "%.1f ns" estimate
+      in
+      rows := (name, human, Printf.sprintf "%.4f" r2) :: !rows)
+    results;
+  List.iter
+    (fun (name, time, r2) -> Harness.Table.add_row table [ name; time; r2 ])
+    (List.sort compare !rows);
+  Harness.Table.print table;
+  print_newline ()

@@ -1,0 +1,420 @@
+(* Command-line interface to the defender library.
+
+   Subcommands:
+     gen       generate a graph and print/save it as an edge list
+     analyze   structural + equilibrium-relevant analysis of a graph
+     pure      decide/construct pure Nash equilibria (Theorem 3.1)
+     solve     compute a k-matching Nash equilibrium (Algorithm A_tuple)
+     simulate  Monte-Carlo play of the computed equilibrium
+     dynamics  best-response dynamics until convergence or budget
+
+     verify    re-verify a saved equilibrium profile
+     minimax   optimal max-min single-link defense (exact LP)
+     paths     pure-NE thresholds for the path-constrained defender
+     fp        fictitious-play learning dynamics
+     census    enumerate symmetric equilibria of a tiny instance
+
+   Graphs are specified either with --file (edge-list format) or --family
+   using a compact spec: path:6, cycle:8, star:5, complete:4, kbip:3x4,
+   grid:3x4, hypercube:3, wheel:6, petersen, barbell:4:2, lollipop:4:3,
+   caterpillar:4:2, multipartite:2:2:2, tree:12, gnp:20:0.1,
+   bipartite:5x7:0.2, regular:10:4, enterprise:4:20:2. *)
+
+open Cmdliner
+
+let parse_family spec seed =
+  let rng = Prng.Rng.create seed in
+  let fail () =
+    raise (Invalid_argument (Printf.sprintf "unrecognized family spec %S" spec))
+  in
+  let int s = match int_of_string_opt s with Some v -> v | None -> fail () in
+  let flt s = match float_of_string_opt s with Some v -> v | None -> fail () in
+  match String.split_on_char ':' spec with
+  | [ "path"; n ] -> Netgraph.Gen.path (int n)
+  | [ "cycle"; n ] -> Netgraph.Gen.cycle (int n)
+  | [ "star"; n ] -> Netgraph.Gen.star (int n)
+  | [ "complete"; n ] -> Netgraph.Gen.complete (int n)
+  | [ "hypercube"; d ] -> Netgraph.Gen.hypercube (int d)
+  | [ "wheel"; n ] -> Netgraph.Gen.wheel (int n)
+  | [ "petersen" ] -> Netgraph.Gen.petersen ()
+  | [ "barbell"; a; bridge ] -> Netgraph.Gen.barbell (int a) ~bridge:(int bridge)
+  | [ "lollipop"; a; tail ] -> Netgraph.Gen.lollipop (int a) ~tail:(int tail)
+  | [ "caterpillar"; spine; legs ] ->
+      Netgraph.Gen.caterpillar ~spine:(int spine) ~legs:(int legs)
+  | "multipartite" :: parts -> Netgraph.Gen.complete_multipartite (List.map int parts)
+  | [ "tree"; n ] -> Netgraph.Gen.random_tree rng ~n:(int n)
+  | [ "gnp"; n; p ] -> Netgraph.Gen.gnp_connected rng ~n:(int n) ~p:(flt p)
+  | [ "regular"; n; d ] -> Netgraph.Gen.random_regular rng ~n:(int n) ~d:(int d)
+  | [ "enterprise"; c; l; u ] ->
+      Netgraph.Gen.enterprise rng ~core:(int c) ~leaves:(int l) ~uplinks:(int u)
+  | [ "kbip"; dims ] | [ "grid"; dims ] | [ "bipartite"; dims ] -> (
+      match String.split_on_char 'x' dims with
+      | [ a; b ] when String.length spec >= 4 && String.sub spec 0 4 = "kbip" ->
+          Netgraph.Gen.complete_bipartite (int a) (int b)
+      | [ a; b ] -> Netgraph.Gen.grid (int a) (int b)
+      | _ -> fail ())
+  | [ "bipartite"; dims; p ] -> (
+      match String.split_on_char 'x' dims with
+      | [ a; b ] -> Netgraph.Gen.random_bipartite rng ~a:(int a) ~b:(int b) ~p:(flt p)
+      | _ -> fail ())
+  | _ -> fail ()
+
+let load_graph file family seed =
+  match (file, family) with
+  | Some f, None -> Netgraph.Edge_list.load f
+  | None, Some spec -> parse_family spec seed
+  | Some _, Some _ -> failwith "give either --file or --family, not both"
+  | None, None -> failwith "a graph is required: --file or --family"
+
+(* Common options *)
+let file_arg =
+  Arg.(value & opt (some string) None & info [ "file"; "f" ] ~docv:"FILE" ~doc:"Edge-list file.")
+
+let family_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "family"; "g" ] ~docv:"SPEC" ~doc:"Generator spec, e.g. grid:3x4 or gnp:20:0.1.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let k_arg =
+  Arg.(value & opt int 1 & info [ "k" ] ~docv:"K" ~doc:"Defender power (links scanned).")
+
+let nu_arg =
+  Arg.(value & opt int 1 & info [ "nu" ] ~docv:"NU" ~doc:"Number of attackers.")
+
+let handle f = try `Ok (f ()) with
+  | Invalid_argument msg | Failure msg ->
+      `Error (false, msg)
+
+(* gen *)
+let gen_cmd =
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  let run family seed out =
+    handle (fun () ->
+        let g =
+          match family with
+          | Some spec -> parse_family spec seed
+          | None -> failwith "gen requires --family"
+        in
+        match out with
+        | Some f ->
+            Netgraph.Edge_list.save f g;
+            Printf.printf "wrote %s (n=%d, m=%d)\n" f (Netgraph.Graph.n g)
+              (Netgraph.Graph.m g)
+        | None -> print_string (Netgraph.Edge_list.to_string g))
+  in
+  Cmd.v (Cmd.info "gen" ~doc:"Generate a graph.")
+    Term.(ret (const run $ family_arg $ seed_arg $ out_arg))
+
+(* analyze *)
+let analyze_cmd =
+  let run file family seed =
+    handle (fun () ->
+        let g = load_graph file family seed in
+        Format.printf "%a@." Netgraph.Props.pp_summary (Netgraph.Props.summary g);
+        if Netgraph.Traverse.is_connected g then begin
+          Printf.printf "diameter %d, radius %d, girth %s\n"
+            (Netgraph.Metrics.diameter g) (Netgraph.Metrics.radius g)
+            (match Netgraph.Metrics.girth g with
+            | Some c -> string_of_int c
+            | None -> "none (forest)");
+          Printf.printf "articulation points: %d, bridges: %d\n"
+            (List.length (Netgraph.Metrics.articulation_points g))
+            (List.length (Netgraph.Metrics.bridges g))
+        end;
+        Printf.printf "minimum edge cover rho(G) = %d (pure NE exists iff k >= rho)\n"
+          (Matching.Edge_cover.rho g);
+        Printf.printf "maximum matching mu(G) = %d\n"
+          (Matching.Blossom.matching_number g);
+        (match Defender.Matching_nash.find_partition g with
+        | Some p ->
+            let is_size = List.length p.Defender.Matching_nash.is in
+            Printf.printf
+              "admissible (IS, VC) partition found: |IS| = %d, |VC| = %d\n\
+               matching NE exist; k-matching NE exist for every k in [1, %d]\n"
+              is_size
+              (List.length p.Defender.Matching_nash.vc)
+              is_size
+        | None ->
+            print_endline
+              "no admissible (IS, VC) partition: no matching/k-matching NE \
+               (Theorem 2.2 / Corollary 4.11)");
+        let d = Defender.Minimax.solve g in
+        Printf.printf
+          "max-min defense (k = 1): interception %s (fractional edge cover rho* = %s)\n"
+          (Exact.Q.to_string d.Defender.Minimax.value)
+          (Exact.Q.to_string d.Defender.Minimax.rho_star))
+  in
+  Cmd.v (Cmd.info "analyze" ~doc:"Analyze a graph's equilibrium structure.")
+    Term.(ret (const run $ file_arg $ family_arg $ seed_arg))
+
+(* minimax *)
+let minimax_cmd =
+  let run file family seed =
+    handle (fun () ->
+        let g = load_graph file family seed in
+        let d = Defender.Minimax.solve g in
+        Printf.printf "fractional edge-cover number rho* = %s\n"
+          (Exact.Q.to_string d.Defender.Minimax.rho_star);
+        Printf.printf "max-min interception probability = %s (certified %b)\n"
+          (Exact.Q.to_string d.Defender.Minimax.value)
+          (Defender.Minimax.certified g d);
+        print_endline "optimal scan marginals (nonzero):";
+        Array.iteri
+          (fun id p ->
+            if not (Exact.Q.is_zero p) then
+              let e = Netgraph.Graph.edge g id in
+              Printf.printf "  link %d-%d: %s\n" e.Netgraph.Graph.u
+                e.Netgraph.Graph.v (Exact.Q.to_string p))
+          d.Defender.Minimax.marginals)
+  in
+  Cmd.v
+    (Cmd.info "minimax"
+       ~doc:"Optimal max-min (paranoid) single-link defense, exact LP.")
+    Term.(ret (const run $ file_arg $ family_arg $ seed_arg))
+
+(* paths *)
+let paths_cmd =
+  let run file family seed =
+    handle (fun () ->
+        let g = load_graph file family seed in
+        let rho, path_k = Defender.Path_model.pure_thresholds g in
+        Printf.printf "Tuple model: pure NE exists iff k >= rho(G) = %d\n" rho;
+        match path_k with
+        | Some k ->
+            Printf.printf
+              "Path model: pure NE exists iff k = n-1 = %d (graph is traceable)\n" k
+        | None ->
+            print_endline
+              "Path model: no pure NE for any k (no Hamiltonian path)")
+  in
+  Cmd.v
+    (Cmd.info "paths"
+       ~doc:"Pure-NE thresholds when the defender is constrained to paths.")
+    Term.(ret (const run $ file_arg $ family_arg $ seed_arg))
+
+(* census: symmetric-NE enumeration on tiny graphs *)
+let census_cmd =
+  let run file family seed nu k =
+    handle (fun () ->
+        let g = load_graph file family seed in
+        let m = Defender.Model.make ~graph:g ~nu ~k in
+        let candidates =
+          if k = 1 then
+            List.init (Netgraph.Graph.m g) (fun id -> Defender.Tuple.of_list g [ id ])
+          else Defender.Tuple.enumerate ~limit:10 g ~k
+        in
+        let nes = Defender.Support_solver.search m ~candidate_tuples:candidates in
+        Printf.printf "%d symmetric equilibria found\n" (List.length nes);
+        List.iter
+          (fun p ->
+            Format.printf "%a@.gain: %s@.@." Defender.Profile.pp p
+              (Exact.Q.to_string (Defender.Gain.defender_gain p)))
+          nes)
+  in
+  Cmd.v
+    (Cmd.info "census"
+       ~doc:"Enumerate symmetric Nash equilibria of a tiny instance by support \
+             enumeration.")
+    Term.(ret (const run $ file_arg $ family_arg $ seed_arg $ nu_arg $ k_arg))
+
+(* fp: fictitious play *)
+let fp_cmd =
+  let rounds_arg =
+    Arg.(value & opt int 20_000 & info [ "rounds" ] ~docv:"N" ~doc:"Play rounds.")
+  in
+  let run file family seed nu k rounds =
+    handle (fun () ->
+        let g = load_graph file family seed in
+        let m = Defender.Model.make ~graph:g ~nu ~k in
+        let r = Sim.Fictitious.run (Prng.Rng.create seed) m ~rounds in
+        Printf.printf
+          "fictitious play over %d rounds: average gain %.4f (tail %.4f)\n" rounds
+          r.Sim.Fictitious.avg_gain r.Sim.Fictitious.tail_avg_gain;
+        (match Defender.Tuple_nash.a_tuple_auto m with
+        | Ok prof ->
+            Printf.printf "k-matching NE prediction: %s\n"
+              (Exact.Q.to_string (Defender.Gain.defender_gain prof))
+        | Error _ -> ());
+        if k = 1 then
+          let d = Defender.Minimax.solve g in
+          Printf.printf "max-min prediction: nu * %s = %.4f\n"
+            (Exact.Q.to_string d.Defender.Minimax.value)
+            (Exact.Q.to_float (Exact.Q.mul_int d.Defender.Minimax.value nu)))
+  in
+  Cmd.v (Cmd.info "fp" ~doc:"Fictitious-play learning dynamics.")
+    Term.(
+      ret (const run $ file_arg $ family_arg $ seed_arg $ nu_arg $ k_arg $ rounds_arg))
+
+(* pure *)
+let pure_cmd =
+  let run file family seed nu k =
+    handle (fun () ->
+        let g = load_graph file family seed in
+        let m = Defender.Model.make ~graph:g ~nu ~k in
+        if Defender.Pure_nash.exists m then begin
+          match Defender.Pure_nash.construct m with
+          | Some prof ->
+              Printf.printf
+                "pure NE exists (Theorem 3.1); defender cover: edges {%s}\n"
+                (String.concat ","
+                   (List.map string_of_int
+                      (Defender.Tuple.to_list prof.Defender.Profile.tp_choice)))
+          | None -> assert false
+        end
+        else
+          Printf.printf
+            "no pure NE: rho(G) = %d > k = %d%s\n"
+            (Matching.Edge_cover.rho g) k
+            (if Defender.Pure_nash.cor33_applies m then
+               " (also forced by Corollary 3.3: n >= 2k+1)"
+             else ""))
+  in
+  Cmd.v (Cmd.info "pure" ~doc:"Decide/construct pure Nash equilibria.")
+    Term.(ret (const run $ file_arg $ family_arg $ seed_arg $ nu_arg $ k_arg))
+
+(* solve *)
+let solve_cmd =
+  let verify_arg =
+    Arg.(value & flag & info [ "verify" ] ~doc:"Exhaustively verify the result.")
+  in
+  let save_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"FILE" ~doc:"Write the equilibrium profile to FILE.")
+  in
+  let run file family seed nu k verify save =
+    handle (fun () ->
+        let g = load_graph file family seed in
+        let m = Defender.Model.make ~graph:g ~nu ~k in
+        match Defender.Tuple_nash.a_tuple_auto m with
+        | Error e -> Printf.printf "no k-matching NE: %s\n" e
+        | Ok prof ->
+            Format.printf "%a@." Defender.Profile.pp prof;
+            Printf.printf "defender gain: %s (= k*nu/|IS|)\n"
+              (Exact.Q.to_string (Defender.Gain.defender_gain prof));
+            Printf.printf "attacker escape probability: %s\n"
+              (Exact.Q.to_string (Defender.Gain.escape_probability prof 0));
+            let mode =
+              if verify then Defender.Verify.Exhaustive 2_000_000
+              else Defender.Verify.Certificate
+            in
+            Printf.printf "verification (%s): %s\n"
+              (if verify then "exhaustive" else "certificate")
+              (Defender.Verify.verdict_to_string (Defender.Verify.mixed_ne mode prof));
+            match save with
+            | Some path ->
+                Defender.Profile_io.save path prof;
+                Printf.printf "profile written to %s\n" path
+            | None -> ())
+  in
+  Cmd.v (Cmd.info "solve" ~doc:"Compute a k-matching Nash equilibrium.")
+    Term.(
+      ret
+        (const run $ file_arg $ family_arg $ seed_arg $ nu_arg $ k_arg $ verify_arg
+       $ save_arg))
+
+(* verify: re-check a saved profile *)
+let verify_cmd =
+  let load_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "load" ] ~docv:"FILE" ~doc:"Saved profile to verify.")
+  in
+  let run file family seed nu k path =
+    handle (fun () ->
+        let g = load_graph file family seed in
+        let m = Defender.Model.make ~graph:g ~nu ~k in
+        let prof = Defender.Profile_io.load m path in
+        Printf.printf "definitional check: %s\n"
+          (Defender.Verify.verdict_to_string
+             (Defender.Verify.mixed_ne (Defender.Verify.Exhaustive 2_000_000) prof));
+        Format.printf "Theorem 3.4 characterization:@.%a@."
+          Defender.Characterization.pp_report
+          (Defender.Characterization.check (Defender.Verify.Exhaustive 2_000_000) prof);
+        Printf.printf "defender gain: %s\n"
+          (Exact.Q.to_string (Defender.Gain.defender_gain prof)))
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Re-verify a saved equilibrium profile against a graph.")
+    Term.(
+      ret (const run $ file_arg $ family_arg $ seed_arg $ nu_arg $ k_arg $ load_arg))
+
+(* simulate *)
+let simulate_cmd =
+  let rounds_arg =
+    Arg.(value & opt int 10_000 & info [ "rounds" ] ~docv:"N" ~doc:"Simulation rounds.")
+  in
+  let run file family seed nu k rounds =
+    handle (fun () ->
+        let g = load_graph file family seed in
+        let m = Defender.Model.make ~graph:g ~nu ~k in
+        match Defender.Tuple_nash.a_tuple_auto m with
+        | Error e -> Printf.printf "no k-matching NE to simulate: %s\n" e
+        | Ok prof ->
+            let stats = Sim.Engine.play (Prng.Rng.create seed) prof ~rounds in
+            Printf.printf "analytic expected catch: %s\n"
+              (Exact.Q.to_string (Defender.Gain.defender_gain prof));
+            Printf.printf "simulated mean over %d rounds: %.4f (95%% CI +/- %.4f)\n"
+              rounds stats.Sim.Engine.mean_caught (Sim.Engine.confidence95 stats);
+            Printf.printf "agreement: %b\n"
+              (Sim.Engine.agrees_with_analytic stats prof))
+  in
+  Cmd.v (Cmd.info "simulate" ~doc:"Monte-Carlo play of the equilibrium.")
+    Term.(
+      ret (const run $ file_arg $ family_arg $ seed_arg $ nu_arg $ k_arg $ rounds_arg))
+
+(* dynamics *)
+let dynamics_cmd =
+  let steps_arg =
+    Arg.(value & opt int 10_000 & info [ "max-steps" ] ~docv:"N" ~doc:"Step budget.")
+  in
+  let run file family seed nu k max_steps =
+    handle (fun () ->
+        let g = load_graph file family seed in
+        let m = Defender.Model.make ~graph:g ~nu ~k in
+        match Sim.Dynamics.run (Prng.Rng.create seed) m ~max_steps with
+        | Sim.Dynamics.Converged { steps; profile } ->
+            Printf.printf
+              "converged to a pure NE after %d steps; defender plays {%s}\n" steps
+              (String.concat ","
+                 (List.map string_of_int
+                    (Defender.Tuple.to_list profile.Defender.Profile.tp_choice)))
+        | Sim.Dynamics.Cycling { steps } ->
+            Printf.printf
+              "still churning after %d steps — consistent with no pure NE \
+               (rho = %d vs k = %d)\n"
+              steps (Matching.Edge_cover.rho g) k)
+  in
+  Cmd.v (Cmd.info "dynamics" ~doc:"Best-response dynamics.")
+    Term.(
+      ret (const run $ file_arg $ family_arg $ seed_arg $ nu_arg $ k_arg $ steps_arg))
+
+let () =
+  let info =
+    Cmd.info "defender-cli" ~version:"1.0.0"
+      ~doc:"Attack/defense network games: the Tuple model of ICDCS 2006."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            gen_cmd;
+            analyze_cmd;
+            pure_cmd;
+            solve_cmd;
+            verify_cmd;
+            simulate_cmd;
+            dynamics_cmd;
+            minimax_cmd;
+            paths_cmd;
+            fp_cmd;
+            census_cmd;
+          ]))

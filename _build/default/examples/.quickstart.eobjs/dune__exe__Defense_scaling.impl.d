@@ -1,0 +1,1 @@
+examples/defense_scaling.ml: Defender Exact Format Harness List Netgraph Printf Prng Sim

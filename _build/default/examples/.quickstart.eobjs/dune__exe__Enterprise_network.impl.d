@@ -1,0 +1,1 @@
+examples/enterprise_network.ml: Defender Exact Format Harness List Netgraph Printf Prng Sim

@@ -1,0 +1,1 @@
+examples/paranoid_defense.ml: Array Defender Exact Matching Netgraph Printf Prng Sim

@@ -1,0 +1,1 @@
+examples/paranoid_defense.mli:

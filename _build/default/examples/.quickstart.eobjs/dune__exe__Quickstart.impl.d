@@ -1,0 +1,1 @@
+examples/quickstart.ml: Defender Exact Format Netgraph Prng Sim

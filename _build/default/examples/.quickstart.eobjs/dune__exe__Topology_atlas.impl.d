@@ -1,0 +1,1 @@
+examples/topology_atlas.ml: Bipartite Defender Exact Format Gen Graph Harness List Matching Netgraph Printf String

@@ -1,0 +1,1 @@
+lib/core/best_response.ml: Array Exact Graph List Model Netgraph Profile Tuple

@@ -1,0 +1,1 @@
+lib/core/best_response.mli: Exact Graph Netgraph Profile Tuple

@@ -1,0 +1,1 @@
+lib/core/characterization.ml: Exact Format Graph List Matching Model Netgraph Printf Profile Tuple Verify

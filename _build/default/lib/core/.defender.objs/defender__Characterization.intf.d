@@ -1,0 +1,1 @@
+lib/core/characterization.mli: Format Profile Verify

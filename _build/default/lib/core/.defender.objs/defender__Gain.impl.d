@@ -1,0 +1,1 @@
+lib/core/gain.ml: Exact Model Profile Profit

@@ -1,0 +1,1 @@
+lib/core/gain.mli: Exact Model Profile

@@ -1,0 +1,1 @@
+lib/core/matching_nash.ml: Array Bipartite Graph List Matching Model Netgraph Printf Profile String Tuple

@@ -1,0 +1,1 @@
+lib/core/matching_nash.mli: Graph Model Netgraph Profile

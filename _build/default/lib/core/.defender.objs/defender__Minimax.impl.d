@@ -1,0 +1,1 @@
+lib/core/minimax.ml: Array Exact Fun Graph List Lp Netgraph

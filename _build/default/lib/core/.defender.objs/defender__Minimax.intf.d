@@ -1,0 +1,1 @@
+lib/core/minimax.mli: Exact Graph Netgraph

@@ -1,0 +1,1 @@
+lib/core/path_model.ml: Array Bytes Exact Format Graph Hashtbl List Matching Model Netgraph Option Printf Profile Tuple Verify

@@ -1,0 +1,1 @@
+lib/core/path_model.mli: Exact Graph Model Netgraph Profile Tuple Verify

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Bipartite List Matching Matching_nash Model Netgraph Profile Tuple_nash

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Matching_nash Model Netgraph Profile

@@ -1,0 +1,1 @@
+lib/core/profile.ml: Array Dist Exact Format Graph Hashtbl List Model Netgraph Printf Tuple

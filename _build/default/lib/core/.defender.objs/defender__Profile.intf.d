@@ -1,0 +1,1 @@
+lib/core/profile.mli: Dist Exact Format Graph Model Netgraph Tuple

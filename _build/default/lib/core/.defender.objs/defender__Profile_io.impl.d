@@ -1,0 +1,1 @@
+lib/core/profile_io.ml: Array Buffer Dist Exact Fun List Model Printf Profile String Tuple

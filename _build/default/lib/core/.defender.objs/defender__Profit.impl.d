@@ -1,0 +1,1 @@
+lib/core/profit.ml: Array Dist Exact List Model Profile Tuple

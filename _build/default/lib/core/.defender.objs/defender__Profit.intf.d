@@ -1,0 +1,1 @@
+lib/core/profit.mli: Exact Model Netgraph Profile Tuple

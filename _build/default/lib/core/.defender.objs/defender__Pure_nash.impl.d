@@ -1,0 +1,1 @@
+lib/core/pure_nash.ml: Array Graph List Matching Model Netgraph Profile Tuple

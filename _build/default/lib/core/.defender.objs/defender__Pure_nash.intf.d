@@ -1,0 +1,1 @@
+lib/core/pure_nash.mli: Model Profile

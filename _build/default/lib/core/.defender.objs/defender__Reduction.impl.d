@@ -1,0 +1,1 @@
+lib/core/reduction.ml: Graph List Matching_nash Model Netgraph Printf Profile Tuple Tuple_nash

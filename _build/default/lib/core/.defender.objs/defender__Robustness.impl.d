@@ -1,0 +1,1 @@
+lib/core/robustness.ml: Best_response Dist Exact Fun List Model Profile Profit Tuple

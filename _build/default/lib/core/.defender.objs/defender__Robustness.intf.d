@@ -1,0 +1,1 @@
+lib/core/robustness.mli: Exact Netgraph Profile Tuple

@@ -1,0 +1,1 @@
+lib/core/support_solver.ml: Array Dist Exact Fun Graph List Lp Model Netgraph Profile Tuple Verify

@@ -1,0 +1,1 @@
+lib/core/support_solver.mli: Graph Model Netgraph Profile Tuple

@@ -1,0 +1,1 @@
+lib/core/tuple.ml: Array Format Graph List Netgraph Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/core/tuple_nash.ml: Array Graph List Matching Matching_nash Model Netgraph Printf Profile Tuple

@@ -1,0 +1,1 @@
+lib/core/tuple_nash.mli: Graph Matching_nash Model Netgraph Profile Tuple

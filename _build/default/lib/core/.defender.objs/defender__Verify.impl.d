@@ -1,0 +1,1 @@
+lib/core/verify.ml: Best_response Exact List Model Printf Profile Profit

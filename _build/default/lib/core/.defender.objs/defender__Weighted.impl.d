@@ -1,0 +1,1 @@
+lib/core/weighted.ml: Array Dist Exact List Model Printf Profile Profit Tuple Tuple_nash Verify

@@ -1,0 +1,1 @@
+lib/core/weighted.mli: Exact Matching_nash Model Netgraph Profile Tuple Verify

@@ -1,0 +1,25 @@
+module Q = Exact.Q
+
+let defender_gain = Profit.expected_tp
+
+let predicted_gain model ~is_size =
+  if is_size < 1 then invalid_arg "Gain.predicted_gain: empty support";
+  Q.make (Model.k model * Model.nu model) is_size
+
+let predicted_escape_probability model ~is_size =
+  if is_size < 1 then invalid_arg "Gain.predicted_escape_probability: empty support";
+  Q.sub Q.one (Q.make (Model.k model) is_size)
+
+let escape_probability m i = Profit.expected_vp m i
+
+let gain_ratio high low = Q.div (defender_gain high) (defender_gain low)
+
+let protection_quality m =
+  Q.div_int (defender_gain m) (Model.nu (Profile.model m))
+
+let price_of_defense m =
+  Q.div (Q.of_int (Model.nu (Profile.model m))) (defender_gain m)
+
+let predicted_price_of_defense model ~is_size =
+  if is_size < 1 then invalid_arg "Gain.predicted_price_of_defense: empty support";
+  Q.make is_size (Model.k model)

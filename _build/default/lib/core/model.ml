@@ -1,0 +1,35 @@
+open Netgraph
+
+type t = { graph : Graph.t; nu : int; k : int }
+
+let make ~graph ~nu ~k =
+  if not (Props.is_valid_instance graph) then
+    invalid_arg
+      "Model.make: instance graph must be connected, have no isolated \
+       vertices, and at least two vertices";
+  if nu < 1 then invalid_arg "Model.make: need at least one vertex player";
+  if k < 1 || k > Graph.m graph then
+    invalid_arg
+      (Printf.sprintf "Model.make: k = %d outside [1, m = %d]" k (Graph.m graph));
+  { graph; nu; k }
+
+let edge_model t = { t with k = 1 }
+let with_k t ~k = make ~graph:t.graph ~nu:t.nu ~k
+let graph t = t.graph
+let nu t = t.nu
+let k t = t.k
+
+let tuple_space_size t =
+  let m = Graph.m t.graph and k = t.k in
+  (* C(m, k) with overflow detection. *)
+  let rec go i acc =
+    if i > k then Some acc
+    else
+      let next = acc * (m - k + i) in
+      if next / (m - k + i) <> acc then None else go (i + 1) (next / i)
+  in
+  go 1 1
+
+let pp fmt t =
+  Format.fprintf fmt "Pi_%d(G[n=%d,m=%d], nu=%d)" t.k (Graph.n t.graph)
+    (Graph.m t.graph) t.nu

@@ -1,0 +1,83 @@
+(** Configurations (strategy profiles) of Π_k(G), pure and mixed, together
+    with the standard equilibrium quantities Hit, m_s(v), m_s(t).
+
+    The vertex players' strategies are distributions over vertex ids; the
+    tuple player's strategy is a distribution over tuples, stored as an
+    association list over canonical tuples. *)
+
+open Netgraph
+module Q = Exact.Q
+
+type pure = {
+  vp_choices : Graph.vertex array;  (** one vertex per vertex player *)
+  tp_choice : Tuple.t;
+}
+
+type mixed
+
+(** [make_pure model ~vp_choices ~tp_choice] validates arity, vertex range
+    and tuple size ([= k]). @raise Invalid_argument otherwise. *)
+val make_pure : Model.t -> vp_choices:Graph.vertex list -> tp_choice:Tuple.t -> pure
+
+(** [make_mixed model ~vp ~tp] validates: one distribution per vertex
+    player over valid vertices; tuple strategies of size [k] with positive
+    probabilities summing to exactly 1. @raise Invalid_argument
+    otherwise. *)
+val make_mixed :
+  Model.t -> vp:Dist.Finite.t list -> tp:(Tuple.t * Q.t) list -> mixed
+
+(** Embed a pure configuration as point masses. *)
+val of_pure : Model.t -> pure -> mixed
+
+(** Uniform-support shorthand used by all structured equilibria: every
+    vertex player uniform on [vp_support], the tuple player uniform on
+    [tp_support]. @raise Invalid_argument on empty supports/duplicates. *)
+val uniform : Model.t -> vp_support:Graph.vertex list -> tp_support:Tuple.t list -> mixed
+
+val model : mixed -> Model.t
+
+(** Strategy of vertex player [i]. @raise Invalid_argument if out of
+    range. *)
+val vp_strategy : mixed -> int -> Dist.Finite.t
+
+(** The tuple player's strategy: support tuples with probabilities. *)
+val tp_strategy : mixed -> (Tuple.t * Q.t) list
+
+(** D_s(vp_i): support of player [i], sorted. *)
+val vp_support : mixed -> int -> Graph.vertex list
+
+(** D_s(VP) = union of vertex players' supports, sorted. *)
+val vp_support_union : mixed -> Graph.vertex list
+
+(** D_s(tp): support tuples. *)
+val tp_support : mixed -> Tuple.t list
+
+(** E(D_s(tp)): union of support edges, sorted. *)
+val tp_support_edges : mixed -> Graph.edge_id list
+
+(** Tuples_s(v): support tuples covering vertex [v]. *)
+val tuples_hitting : mixed -> Graph.vertex -> (Tuple.t * Q.t) list
+
+(** P_s(Hit(v)). *)
+val hit_prob : mixed -> Graph.vertex -> Q.t
+
+(** m_s(v): expected number of vertex players on [v]. *)
+val expected_load : mixed -> Graph.vertex -> Q.t
+
+(** m_s(e) = m_s(u) + m_s(v) for an edge. *)
+val expected_load_edge : mixed -> Graph.edge_id -> Q.t
+
+(** m_s(t) = Σ_{v ∈ V(t)} m_s(v) for any tuple (not necessarily in the
+    support). *)
+val expected_load_tuple : mixed -> Tuple.t -> Q.t
+
+(** [replace_vp m i d] / [replace_tp m tp]: one-player deviations, used by
+    best-response checks. *)
+val replace_vp : mixed -> int -> Dist.Finite.t -> mixed
+
+val replace_tp : mixed -> (Tuple.t * Q.t) list -> mixed
+
+(** True when every player's strategy is a point mass. *)
+val is_pure : mixed -> bool
+
+val pp : Format.formatter -> mixed -> unit

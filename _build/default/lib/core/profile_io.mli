@@ -1,0 +1,25 @@
+(** Text serialization of mixed configurations, so computed equilibria can
+    be stored, audited, and re-verified later (CLI: `solve --save`,
+    `verify --load`).
+
+    Format (line-oriented, '#' comments):
+    {v
+    profile v1
+    nu <int> k <int>
+    vp <i> <vertex>:<num>/<den> ...
+    tp <edge,edge,...>:<num>/<den> ...
+    v}
+    Probabilities are exact rationals, so a round trip is lossless.  The
+    graph itself is not embedded — the loader takes it as an argument and
+    validates the profile against it. *)
+
+(** Render a profile (without its graph). *)
+val to_string : Profile.mixed -> string
+
+(** Parse against a model.  @raise Invalid_argument on syntax errors or
+    inconsistency with the model (wrong ν, k, out-of-range vertices or
+    edges, probabilities not summing to 1). *)
+val of_string : Model.t -> string -> Profile.mixed
+
+val save : string -> Profile.mixed -> unit
+val load : Model.t -> string -> Profile.mixed

@@ -1,0 +1,27 @@
+module Q = Exact.Q
+
+let pure_vp model profile i =
+  let g = Model.graph model in
+  if i < 0 || i >= Array.length profile.Profile.vp_choices then
+    invalid_arg "Profit.pure_vp: player index out of range";
+  if Tuple.covers g profile.Profile.tp_choice profile.Profile.vp_choices.(i) then 0
+  else 1
+
+let pure_tp model profile =
+  let g = Model.graph model in
+  Array.fold_left
+    (fun acc v -> if Tuple.covers g profile.Profile.tp_choice v then acc + 1 else acc)
+    0 profile.Profile.vp_choices
+
+let vp_payoff_of_vertex m v = Q.sub Q.one (Profile.hit_prob m v)
+
+let tp_payoff_of_tuple m t = Profile.expected_load_tuple m t
+
+let expected_vp m i =
+  Dist.Finite.expect (Profile.vp_strategy m i) ~f:(fun v -> vp_payoff_of_vertex m v)
+
+let expected_tp m =
+  Q.sum
+    (List.map
+       (fun (t, p) -> Q.mul p (Profile.expected_load_tuple m t))
+       (Profile.tp_strategy m))

@@ -1,0 +1,24 @@
+(** Individual profits (Definition 2.1) and expected individual profits
+    (equations (1) and (2) of the paper), computed exactly. *)
+
+module Q = Exact.Q
+
+(** IP_i: 1 if vertex player [i] escapes the defender, 0 otherwise. *)
+val pure_vp : Model.t -> Profile.pure -> int -> int
+
+(** IP_tp: number of vertex players caught. *)
+val pure_tp : Model.t -> Profile.pure -> int
+
+(** Expected IP_i per equation (1): Σ_v P(vp_i = v) (1 − P(Hit(v))). *)
+val expected_vp : Profile.mixed -> int -> Q.t
+
+(** Expected IP_tp per equation (2): Σ_t P(tp = t) m_s(t). *)
+val expected_tp : Profile.mixed -> Q.t
+
+(** Payoff of playing pure vertex [v] against the profile's defender:
+    [1 − Hit(v)].  The best-response value for a vertex player. *)
+val vp_payoff_of_vertex : Profile.mixed -> Netgraph.Graph.vertex -> Q.t
+
+(** Payoff of playing pure tuple [t] against the profile's attackers:
+    [m_s(t)].  The best-response value for the defender. *)
+val tp_payoff_of_tuple : Profile.mixed -> Tuple.t -> Q.t

@@ -1,0 +1,33 @@
+(** Direct Nash-equilibrium verification (definitional best-response test),
+    independent of the paper's characterization — the ground-truth oracle
+    the characterization is tested against.
+
+    A mixed configuration is an NE iff every vertex player's support lies
+    on minimum-hit-probability vertices, and every support tuple of the
+    defender attains [max_{t ∈ E^k} m_s(t)].  The defender side needs the
+    max over C(m,k) tuples; choose the mode accordingly. *)
+
+type mode =
+  | Exhaustive of int
+      (** enumerate all tuples; the int caps the enumeration size *)
+  | Certificate
+      (** compare against the top-k edge-load upper bound; sound but
+          incomplete (can answer [Unknown]) *)
+
+type verdict =
+  | Confirmed
+  | Refuted of string  (** human-readable witness of a profitable deviation *)
+  | Unknown of string  (** certificate failed to decide *)
+
+val verdict_is_confirmed : verdict -> bool
+val verdict_to_string : verdict -> string
+
+(** Check the vertex players only (always polynomial): [Confirmed] or
+    [Refuted]. *)
+val vp_side : Profile.mixed -> verdict
+
+(** Check the defender only. *)
+val tp_side : mode -> Profile.mixed -> verdict
+
+(** Conjunction of both sides. *)
+val mixed_ne : mode -> Profile.mixed -> verdict

@@ -1,0 +1,1 @@
+lib/dist/finite.ml: Array Exact Format Hashtbl List Option Printf Prng

@@ -1,0 +1,1 @@
+lib/dist/finite.mli: Exact Format Prng

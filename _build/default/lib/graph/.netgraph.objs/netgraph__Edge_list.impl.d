@@ -1,0 +1,1 @@
+lib/graph/edge_list.ml: Buffer Fun Graph List Printf String

@@ -1,0 +1,1 @@
+lib/graph/graph6.mli: Graph

@@ -1,0 +1,1 @@
+lib/graph/props.ml: Bipartite Format Graph List Traverse

@@ -1,0 +1,41 @@
+let to_string g =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (Printf.sprintf "# netgraph edge list\n%d\n" (Graph.n g));
+  Graph.iter_edges g ~f:(fun _ e ->
+      Buffer.add_string buf (Printf.sprintf "%d %d\n" e.Graph.u e.Graph.v));
+  Buffer.contents buf
+
+let of_string text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && not (String.length l > 0 && l.[0] = '#'))
+  in
+  match lines with
+  | [] -> invalid_arg "Edge_list.of_string: empty input"
+  | header :: rest ->
+      let n =
+        match int_of_string_opt header with
+        | Some n -> n
+        | None -> invalid_arg "Edge_list.of_string: bad vertex-count header"
+      in
+      let parse_edge line =
+        match String.split_on_char ' ' line |> List.filter (fun t -> t <> "") with
+        | [ a; b ] -> (
+            match (int_of_string_opt a, int_of_string_opt b) with
+            | Some u, Some v -> (u, v)
+            | _ -> invalid_arg ("Edge_list.of_string: bad edge line: " ^ line))
+        | _ -> invalid_arg ("Edge_list.of_string: bad edge line: " ^ line)
+      in
+      Graph.make ~n (List.map parse_edge rest)
+
+let save file g =
+  let oc = open_out file in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc (to_string g))
+
+let load file =
+  let ic = open_in file in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+      let len = in_channel_length ic in
+      of_string (really_input_string ic len))

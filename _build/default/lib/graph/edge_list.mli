@@ -1,0 +1,13 @@
+(** Plain-text edge-list serialization.
+
+    Format: first non-comment line is [n], then one [u v] pair per line.
+    Lines starting with ['#'] and blank lines are ignored. *)
+
+val to_string : Graph.t -> string
+
+(** @raise Invalid_argument on malformed input (bad header, non-integer
+    tokens, or edges rejected by {!Graph.make}). *)
+val of_string : string -> Graph.t
+
+val save : string -> Graph.t -> unit
+val load : string -> Graph.t

@@ -1,0 +1,140 @@
+type vertex = int
+type edge_id = int
+type edge = { u : vertex; v : vertex }
+
+type t = {
+  n : int;
+  edges : edge array;
+  (* adj.(v) lists (neighbour, edge id) pairs sorted by neighbour. *)
+  adj : (vertex * edge_id) array array;
+}
+
+let normalize u v = if u < v then { u; v } else { u = v; v = u }
+
+let make ~n edge_list =
+  if n < 0 then invalid_arg "Graph.make: negative vertex count";
+  let seen = Hashtbl.create (List.length edge_list) in
+  let check (u, v) =
+    if u < 0 || u >= n || v < 0 || v >= n then
+      invalid_arg (Printf.sprintf "Graph.make: endpoint out of range (%d,%d)" u v);
+    if u = v then invalid_arg (Printf.sprintf "Graph.make: self-loop at %d" u);
+    let e = normalize u v in
+    if Hashtbl.mem seen (e.u, e.v) then
+      invalid_arg (Printf.sprintf "Graph.make: duplicate edge (%d,%d)" e.u e.v);
+    Hashtbl.add seen (e.u, e.v) ();
+    e
+  in
+  let edges = Array.of_list (List.map check edge_list) in
+  let deg = Array.make n 0 in
+  Array.iter
+    (fun e ->
+      deg.(e.u) <- deg.(e.u) + 1;
+      deg.(e.v) <- deg.(e.v) + 1)
+    edges;
+  let adj = Array.init n (fun v -> Array.make deg.(v) (0, 0)) in
+  let fill = Array.make n 0 in
+  Array.iteri
+    (fun id e ->
+      adj.(e.u).(fill.(e.u)) <- (e.v, id);
+      fill.(e.u) <- fill.(e.u) + 1;
+      adj.(e.v).(fill.(e.v)) <- (e.u, id);
+      fill.(e.v) <- fill.(e.v) + 1)
+    edges;
+  Array.iter (fun row -> Array.sort compare row) adj;
+  { n; edges; adj }
+
+let n g = g.n
+let m g = Array.length g.edges
+
+let edge g id =
+  if id < 0 || id >= Array.length g.edges then
+    invalid_arg (Printf.sprintf "Graph.edge: id %d out of range" id);
+  g.edges.(id)
+
+let edges g = Array.copy g.edges
+
+let endpoints g id =
+  let e = edge g id in
+  (e.u, e.v)
+
+let find_edge g u v =
+  if u < 0 || u >= g.n || v < 0 || v >= g.n || u = v then None
+  else
+    (* Binary search the sorted adjacency row of the lower-degree endpoint. *)
+    let row = if Array.length g.adj.(u) <= Array.length g.adj.(v) then g.adj.(u) else g.adj.(v) in
+    let target = if row == g.adj.(u) then v else u in
+    let rec search lo hi =
+      if lo >= hi then None
+      else
+        let mid = (lo + hi) / 2 in
+        let w, id = row.(mid) in
+        if w = target then Some id
+        else if w < target then search (mid + 1) hi
+        else search lo mid
+    in
+    search 0 (Array.length row)
+
+let is_adjacent g u v = Option.is_some (find_edge g u v)
+let neighbors g v = Array.map fst g.adj.(v)
+let incident_edges g v = Array.map snd g.adj.(v)
+let degree g v = Array.length g.adj.(v)
+
+let opposite g id v =
+  let e = edge g id in
+  if e.u = v then e.v
+  else if e.v = v then e.u
+  else invalid_arg (Printf.sprintf "Graph.opposite: %d not an endpoint of edge %d" v id)
+
+let fold_vertices g ~init ~f =
+  let acc = ref init in
+  for v = 0 to g.n - 1 do
+    acc := f !acc v
+  done;
+  !acc
+
+let iter_vertices g ~f =
+  for v = 0 to g.n - 1 do
+    f v
+  done
+
+let fold_edges g ~init ~f =
+  let acc = ref init in
+  Array.iteri (fun id e -> acc := f !acc id e) g.edges;
+  !acc
+
+let iter_edges g ~f = Array.iteri f g.edges
+
+let isolated_vertices g =
+  List.rev
+    (fold_vertices g ~init:[] ~f:(fun acc v ->
+         if degree g v = 0 then v :: acc else acc))
+
+let has_isolated_vertex g = isolated_vertices g <> []
+
+let neighborhood g vs =
+  let mark = Array.make g.n false in
+  List.iter
+    (fun v -> Array.iter (fun (w, _) -> mark.(w) <- true) g.adj.(v))
+    vs;
+  let out = ref [] in
+  for v = g.n - 1 downto 0 do
+    if mark.(v) then out := v :: !out
+  done;
+  !out
+
+let edge_subgraph g ids =
+  let ids = List.sort_uniq compare ids in
+  let pairs = List.map (fun id -> let e = edge g id in (e.u, e.v)) ids in
+  (make ~n:g.n pairs, Array.of_list ids)
+
+let equal a b =
+  a.n = b.n
+  &&
+  let key e = (e.u, e.v) in
+  let sorted g = List.sort compare (Array.to_list (Array.map key g.edges)) in
+  sorted a = sorted b
+
+let pp fmt g =
+  Format.fprintf fmt "@[<hov 2>graph(n=%d, m=%d:" g.n (m g);
+  Array.iter (fun e -> Format.fprintf fmt "@ %d-%d" e.u e.v) g.edges;
+  Format.fprintf fmt ")@]"

@@ -1,0 +1,80 @@
+(** Undirected simple graphs with dense integer vertex and edge identifiers.
+
+    Vertices are [0 .. n-1]; edges carry ids [0 .. m-1] in insertion order.
+    Self-loops and parallel edges are rejected at construction.  The
+    structure is immutable after [make]; adjacency is stored per-vertex and
+    sorted, so membership queries are logarithmic and iteration is cheap.
+
+    This is the information network of the Tuple model: vertices are hosts,
+    edges are communication links. *)
+
+type t
+
+type vertex = int
+type edge_id = int
+
+(** An undirected edge; normalized so that the first endpoint is the
+    smaller vertex. *)
+type edge = { u : vertex; v : vertex }
+
+(** [make ~n edges] builds a graph on [n] vertices.
+    @raise Invalid_argument on a negative [n], an endpoint out of range, a
+    self-loop, or a duplicate edge (in either orientation). *)
+val make : n:int -> (vertex * vertex) list -> t
+
+val n : t -> int
+
+val m : t -> int
+
+(** Endpoints of an edge id, normalized ([u < v]).
+    @raise Invalid_argument if the id is out of range. *)
+val edge : t -> edge_id -> edge
+
+(** All edges, indexed by edge id. *)
+val edges : t -> edge array
+
+(** [endpoints g e] is [(u, v)] with [u < v]. *)
+val endpoints : t -> edge_id -> vertex * vertex
+
+(** The edge id joining two vertices, if present (orientation-insensitive). *)
+val find_edge : t -> vertex -> vertex -> edge_id option
+
+val is_adjacent : t -> vertex -> vertex -> bool
+
+(** Sorted array of neighbours of [v]. *)
+val neighbors : t -> vertex -> vertex array
+
+(** Ids of edges incident to [v], sorted by the opposite endpoint. *)
+val incident_edges : t -> vertex -> edge_id array
+
+val degree : t -> vertex -> int
+
+(** The endpoint of edge [e] that is not [v].
+    @raise Invalid_argument if [v] is not an endpoint of [e]. *)
+val opposite : t -> edge_id -> vertex -> vertex
+
+val fold_vertices : t -> init:'a -> f:('a -> vertex -> 'a) -> 'a
+val iter_vertices : t -> f:(vertex -> unit) -> unit
+val fold_edges : t -> init:'a -> f:('a -> edge_id -> edge -> 'a) -> 'a
+val iter_edges : t -> f:(edge_id -> edge -> unit) -> unit
+
+(** Vertices of degree zero. *)
+val isolated_vertices : t -> vertex list
+
+val has_isolated_vertex : t -> bool
+
+(** [neighborhood g vs] is the set (sorted, deduplicated) of vertices
+    adjacent to at least one vertex of [vs], including vertices of [vs]
+    that happen to be adjacent to another member.  This is [Neigh_G(X)] of
+    the paper. *)
+val neighborhood : t -> vertex list -> vertex list
+
+(** Subgraph induced by a set of edge ids: keeps all [n] vertices, only the
+    given edges.  Used for "the graph obtained by [D(tp)]".  Edge ids are
+    renumbered; the second component maps new ids back to old ids. *)
+val edge_subgraph : t -> edge_id list -> t * edge_id array
+
+(** Structural equality: same vertex count and same edge set. *)
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,65 @@
+let encode g =
+  let n = Graph.n g in
+  let buf = Buffer.create (8 + (n * n / 12)) in
+  if n <= 62 then Buffer.add_char buf (Char.chr (n + 63))
+  else if n <= 258047 then begin
+    Buffer.add_char buf (Char.chr 126);
+    Buffer.add_char buf (Char.chr (((n lsr 12) land 63) + 63));
+    Buffer.add_char buf (Char.chr (((n lsr 6) land 63) + 63));
+    Buffer.add_char buf (Char.chr ((n land 63) + 63))
+  end
+  else invalid_arg "Graph6.encode: graph too large";
+  (* Upper-triangle bits in column order: (0,1), (0,2), (1,2), (0,3), ... *)
+  let acc = ref 0 and filled = ref 0 in
+  let push bit =
+    acc := (!acc lsl 1) lor bit;
+    incr filled;
+    if !filled = 6 then begin
+      Buffer.add_char buf (Char.chr (!acc + 63));
+      acc := 0;
+      filled := 0
+    end
+  in
+  for j = 1 to n - 1 do
+    for i = 0 to j - 1 do
+      push (if Graph.is_adjacent g i j then 1 else 0)
+    done
+  done;
+  if !filled > 0 then
+    Buffer.add_char buf (Char.chr ((!acc lsl (6 - !filled)) + 63));
+  Buffer.contents buf
+
+let decode line =
+  let line =
+    match String.index_opt line '\n' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let len = String.length line in
+  if len = 0 then invalid_arg "Graph6.decode: empty input";
+  let byte i =
+    if i >= len then invalid_arg "Graph6.decode: truncated input";
+    let c = Char.code line.[i] in
+    if c < 63 || c > 126 then invalid_arg "Graph6.decode: invalid character";
+    c - 63
+  in
+  let n, start =
+    if byte 0 < 63 then (byte 0, 1)
+    else ((byte 1 lsl 12) lor (byte 2 lsl 6) lor byte 3, 4)
+  in
+  let bits_needed = n * (n - 1) / 2 in
+  let bit idx =
+    let b = byte (start + (idx / 6)) in
+    (b lsr (5 - (idx mod 6))) land 1
+  in
+  if (bits_needed + 5) / 6 > len - start then
+    invalid_arg "Graph6.decode: truncated adjacency data";
+  let edges = ref [] in
+  let idx = ref 0 in
+  for j = 1 to n - 1 do
+    for i = 0 to j - 1 do
+      if bit !idx = 1 then edges := (i, j) :: !edges;
+      incr idx
+    done
+  done;
+  Graph.make ~n !edges

@@ -1,0 +1,12 @@
+(** graph6 encoding (McKay's format, as used by nauty/geng and most graph
+    repositories): a printable-ASCII serialization of simple undirected
+    graphs.  Lets the library exchange instances with the wider
+    graph-theory toolchain. *)
+
+(** Encode. @raise Invalid_argument for [n > 258047] (the 3-byte size
+    form; longer forms are not needed at our scales). *)
+val encode : Graph.t -> string
+
+(** Decode one graph6 line (optional trailing newline tolerated).
+    @raise Invalid_argument on malformed input. *)
+val decode : string -> Graph.t

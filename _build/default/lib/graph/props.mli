@@ -1,0 +1,26 @@
+(** Structural summaries of a graph. *)
+
+type summary = {
+  n : int;
+  m : int;
+  min_degree : int;
+  max_degree : int;
+  mean_degree : float;
+  connected : bool;
+  bipartite : bool;
+  isolated : int;  (** number of degree-0 vertices *)
+  components : int;
+}
+
+val summary : Graph.t -> summary
+
+(** Valid Tuple-model instance: connected, no isolated vertices, [n >= 2]. *)
+val is_valid_instance : Graph.t -> bool
+
+(** Density [2m / (n (n-1))]; 0 for [n < 2]. *)
+val density : Graph.t -> float
+
+(** Sorted degree sequence (descending). *)
+val degree_sequence : Graph.t -> int list
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,81 @@
+let bfs_order g root =
+  let visited = Array.make (Graph.n g) false in
+  let queue = Queue.create () in
+  Queue.add root queue;
+  visited.(root) <- true;
+  let order = ref [] in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    order := v :: !order;
+    Array.iter
+      (fun w ->
+        if not visited.(w) then begin
+          visited.(w) <- true;
+          Queue.add w queue
+        end)
+      (Graph.neighbors g v)
+  done;
+  List.rev !order
+
+let dfs_order g root =
+  let visited = Array.make (Graph.n g) false in
+  let order = ref [] in
+  let rec go v =
+    if not visited.(v) then begin
+      visited.(v) <- true;
+      order := v :: !order;
+      Array.iter go (Graph.neighbors g v)
+    end
+  in
+  go root;
+  List.rev !order
+
+let distances g root =
+  let dist = Array.make (Graph.n g) (-1) in
+  let queue = Queue.create () in
+  dist.(root) <- 0;
+  Queue.add root queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    Array.iter
+      (fun w ->
+        if dist.(w) < 0 then begin
+          dist.(w) <- dist.(v) + 1;
+          Queue.add w queue
+        end)
+      (Graph.neighbors g v)
+  done;
+  dist
+
+let components g =
+  let n = Graph.n g in
+  let seen = Array.make n false in
+  let comps = ref [] in
+  for v = 0 to n - 1 do
+    if not seen.(v) then begin
+      let comp = bfs_order g v in
+      List.iter (fun w -> seen.(w) <- true) comp;
+      comps := List.sort compare comp :: !comps
+    end
+  done;
+  List.rev !comps
+
+let is_connected g =
+  match components g with [] | [ _ ] -> true | _ -> false
+
+let shortest_path g u v =
+  let dist = distances g u in
+  if dist.(v) < 0 then None
+  else begin
+    (* Walk back from [v] along strictly decreasing distances. *)
+    let rec back w acc =
+      if w = u then w :: acc
+      else
+        let pred =
+          Array.to_list (Graph.neighbors g w)
+          |> List.find (fun x -> dist.(x) = dist.(w) - 1)
+        in
+        back pred (w :: acc)
+    in
+    Some (back v [])
+  end

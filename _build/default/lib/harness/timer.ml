@@ -1,0 +1,10 @@
+let time f =
+  let start = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. start)
+
+let time_median ?(repeat = 5) f =
+  if repeat < 1 then invalid_arg "Timer.time_median: repeat must be positive";
+  let samples = List.init repeat (fun _ -> snd (time f)) in
+  let sorted = List.sort compare samples in
+  List.nth sorted (repeat / 2)

@@ -1,0 +1,8 @@
+(** Wall-clock timing helpers for the scaling figures (Bechamel handles
+    the microbenchmarks; these cover one-shot algorithm timings). *)
+
+(** [time f] is [(result, seconds)]. *)
+val time : (unit -> 'a) -> 'a * float
+
+(** Median-of-[repeat] timing in seconds (default 5), discarding results. *)
+val time_median : ?repeat:int -> (unit -> 'a) -> float

@@ -1,0 +1,1 @@
+lib/lp/gauss.ml: Array Exact

@@ -1,0 +1,63 @@
+module Q = Exact.Q
+
+type outcome = Unique of Q.t array | Underdetermined | Inconsistent
+
+let solve ~a ~b =
+  let m = Array.length a in
+  let n = if m = 0 then 0 else Array.length a.(0) in
+  Array.iter
+    (fun row -> if Array.length row <> n then invalid_arg "Gauss.solve: ragged matrix")
+    a;
+  if Array.length b <> m then invalid_arg "Gauss.solve: |b| <> rows";
+  (* Work on an augmented copy. *)
+  let aug = Array.init m (fun i -> Array.append (Array.copy a.(i)) [| b.(i) |]) in
+  let pivot_col = Array.make m (-1) in
+  let rank = ref 0 in
+  let col = ref 0 in
+  while !rank < m && !col < n do
+    (* find a pivot row *)
+    let pivot = ref (-1) in
+    (try
+       for i = !rank to m - 1 do
+         if not (Q.is_zero aug.(i).(!col)) then begin
+           pivot := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !pivot >= 0 then begin
+      let p = !pivot in
+      let tmp = aug.(p) in
+      aug.(p) <- aug.(!rank);
+      aug.(!rank) <- tmp;
+      let head = aug.(!rank).(!col) in
+      for j = !col to n do
+        aug.(!rank).(j) <- Q.div aug.(!rank).(j) head
+      done;
+      for i = 0 to m - 1 do
+        if i <> !rank && not (Q.is_zero aug.(i).(!col)) then begin
+          let factor = aug.(i).(!col) in
+          for j = !col to n do
+            aug.(i).(j) <- Q.sub aug.(i).(j) (Q.mul factor aug.(!rank).(j))
+          done
+        end
+      done;
+      pivot_col.(!rank) <- !col;
+      incr rank
+    end;
+    incr col
+  done;
+  (* Inconsistency: a zero row with nonzero rhs. *)
+  let inconsistent = ref false in
+  for i = !rank to m - 1 do
+    if not (Q.is_zero aug.(i).(n)) then inconsistent := true
+  done;
+  if !inconsistent then Inconsistent
+  else if !rank < n then Underdetermined
+  else begin
+    let x = Array.make n Q.zero in
+    for i = 0 to !rank - 1 do
+      x.(pivot_col.(i)) <- aug.(i).(n)
+    done;
+    Unique x
+  end

@@ -1,0 +1,17 @@
+(** Exact Gaussian elimination over the rationals.
+
+    Solves [A x = b] by row reduction with partial (first-nonzero)
+    pivoting.  Distinguishes the three outcomes the support solver needs:
+    a unique solution, an underdetermined system (free variables — the
+    caller cannot trust any single completion), or inconsistency. *)
+
+module Q = Exact.Q
+
+type outcome =
+  | Unique of Q.t array
+  | Underdetermined  (** consistent but with free variables *)
+  | Inconsistent
+
+(** [solve ~a ~b] with [a] an m×n matrix (rows of length n) and [b] of
+    length m. @raise Invalid_argument on ragged input. *)
+val solve : a:Q.t array array -> b:Q.t array -> outcome

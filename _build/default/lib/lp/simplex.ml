@@ -1,0 +1,116 @@
+module Q = Exact.Q
+
+type solution = { objective : Q.t; x : Q.t array; dual : Q.t array }
+type outcome = Optimal of solution | Unbounded
+
+let feasible ~a ~b ~x =
+  Array.for_all (fun v -> Q.( >= ) v Q.zero) x
+  && Array.for_all Fun.id
+       (Array.mapi
+          (fun i row ->
+            let lhs = ref Q.zero in
+            Array.iteri (fun j aij -> lhs := Q.add !lhs (Q.mul aij x.(j))) row;
+            Q.( <= ) !lhs b.(i))
+          a)
+
+let value ~c ~x =
+  let acc = ref Q.zero in
+  Array.iteri (fun j cj -> acc := Q.add !acc (Q.mul cj x.(j))) c;
+  !acc
+
+let maximize ~a ~b ~c =
+  let m = Array.length a in
+  let n = Array.length c in
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then invalid_arg "Simplex.maximize: ragged matrix")
+    a;
+  if Array.length b <> m then invalid_arg "Simplex.maximize: |b| <> rows";
+  Array.iter
+    (fun bi ->
+      if Q.( < ) bi Q.zero then
+        invalid_arg "Simplex.maximize: negative right-hand side (packing form)")
+    b;
+  let cols = n + m in
+  (* Tableau rows: constraints with slack identity appended; the reduced
+     cost row is kept separately. *)
+  let tab = Array.init m (fun _ -> Array.make (cols + 1) Q.zero) in
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      tab.(i).(j) <- a.(i).(j)
+    done;
+    tab.(i).(n + i) <- Q.one;
+    tab.(i).(cols) <- b.(i)
+  done;
+  let reduced = Array.make cols Q.zero in
+  for j = 0 to n - 1 do
+    reduced.(j) <- c.(j)
+  done;
+  let basis = Array.init m (fun i -> n + i) in
+  let rec iterate () =
+    (* Bland: entering variable = least index with positive reduced cost. *)
+    let entering = ref (-1) in
+    (try
+       for j = 0 to cols - 1 do
+         if Q.( > ) reduced.(j) Q.zero then begin
+           entering := j;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !entering < 0 then begin
+      (* Optimal: read off the primal and dual solutions. *)
+      let x = Array.make n Q.zero in
+      Array.iteri
+        (fun i var -> if var < n then x.(var) <- tab.(i).(cols))
+        basis;
+      let dual = Array.init m (fun i -> Q.neg reduced.(n + i)) in
+      Optimal { objective = value ~c ~x; x; dual }
+    end
+    else begin
+      let j = !entering in
+      (* Ratio test; Bland tie-break on the leaving basic variable. *)
+      let leaving = ref (-1) in
+      let best_ratio = ref Q.zero in
+      for i = 0 to m - 1 do
+        if Q.( > ) tab.(i).(j) Q.zero then begin
+          let ratio = Q.div tab.(i).(cols) tab.(i).(j) in
+          let better =
+            !leaving < 0
+            || Q.( < ) ratio !best_ratio
+            || (Q.equal ratio !best_ratio && basis.(i) < basis.(!leaving))
+          in
+          if better then begin
+            leaving := i;
+            best_ratio := ratio
+          end
+        end
+      done;
+      if !leaving < 0 then Unbounded
+      else begin
+        let r = !leaving in
+        (* Normalize the pivot row. *)
+        let pivot = tab.(r).(j) in
+        for jj = 0 to cols do
+          tab.(r).(jj) <- Q.div tab.(r).(jj) pivot
+        done;
+        (* Eliminate the entering column elsewhere. *)
+        for i = 0 to m - 1 do
+          if i <> r && not (Q.is_zero tab.(i).(j)) then begin
+            let factor = tab.(i).(j) in
+            for jj = 0 to cols do
+              tab.(i).(jj) <- Q.sub tab.(i).(jj) (Q.mul factor tab.(r).(jj))
+            done
+          end
+        done;
+        let factor = reduced.(j) in
+        if not (Q.is_zero factor) then
+          for jj = 0 to cols - 1 do
+            reduced.(jj) <- Q.sub reduced.(jj) (Q.mul factor tab.(r).(jj))
+          done;
+        basis.(r) <- j;
+        iterate ()
+      end
+    end
+  in
+  iterate ()

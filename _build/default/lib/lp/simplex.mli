@@ -1,0 +1,37 @@
+(** Exact linear programming over rationals: primal simplex with Bland's
+    anti-cycling rule on problems in packing form
+
+      maximize    c . x
+      subject to  A x <= b,   x >= 0,   with b >= 0.
+
+    The non-negativity of [b] makes the all-slack basis feasible, so no
+    phase-1 is needed; this covers the fractional covering/packing duals
+    the defender analysis requires (see {!Defender.Minimax}).  All
+    arithmetic is exact, so returned optima are certificates, not
+    approximations. *)
+
+module Q = Exact.Q
+
+type solution = {
+  objective : Q.t;
+  x : Q.t array;  (** primal optimum, length = #columns *)
+  dual : Q.t array;
+      (** dual optimum (one multiplier per row), read off the slack
+          reduced costs; certifies optimality by strong duality *)
+}
+
+type outcome =
+  | Optimal of solution
+  | Unbounded
+
+(** [maximize ~a ~b ~c] solves the LP above.  [a] is the m×n constraint
+    matrix (rows of length n), [b] the m right-hand sides (all ≥ 0),
+    [c] the n objective coefficients.
+    @raise Invalid_argument on ragged input or a negative entry in [b]. *)
+val maximize : a:Q.t array array -> b:Q.t array -> c:Q.t array -> outcome
+
+(** [feasible ~a ~b ~x]: does [x ≥ 0] satisfy [A x ≤ b]? *)
+val feasible : a:Q.t array array -> b:Q.t array -> x:Q.t array -> bool
+
+(** Objective value [c . x]. *)
+val value : c:Q.t array -> x:Q.t array -> Q.t

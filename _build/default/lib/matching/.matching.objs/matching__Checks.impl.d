@@ -1,0 +1,1 @@
+lib/matching/checks.ml: Array Fun Graph List Netgraph

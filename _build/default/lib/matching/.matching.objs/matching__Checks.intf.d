@@ -1,0 +1,1 @@
+lib/matching/checks.mli: Graph Netgraph

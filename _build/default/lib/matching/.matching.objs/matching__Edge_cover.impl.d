@@ -1,0 +1,1 @@
+lib/matching/edge_cover.ml: Array Blossom Graph List Netgraph

@@ -1,0 +1,1 @@
+lib/matching/edge_cover.mli: Graph Netgraph

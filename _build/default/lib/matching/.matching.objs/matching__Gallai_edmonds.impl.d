@@ -1,0 +1,1 @@
+lib/matching/gallai_edmonds.ml: Array Blossom Graph Netgraph

@@ -1,0 +1,1 @@
+lib/matching/hall.ml: Array Graph Hopcroft_karp List Netgraph Queue

@@ -1,0 +1,1 @@
+lib/matching/hall.mli: Graph Netgraph

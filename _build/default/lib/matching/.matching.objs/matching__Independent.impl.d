@@ -1,0 +1,1 @@
+lib/matching/independent.ml: Array Graph List Netgraph

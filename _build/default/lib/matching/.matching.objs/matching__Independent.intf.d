@@ -1,0 +1,1 @@
+lib/matching/independent.mli: Graph Netgraph

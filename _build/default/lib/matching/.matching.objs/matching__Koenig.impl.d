@@ -1,0 +1,1 @@
+lib/matching/koenig.ml: Array Bipartite Graph Hopcroft_karp List Netgraph Queue

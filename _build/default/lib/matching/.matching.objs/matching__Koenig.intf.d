@@ -1,0 +1,1 @@
+lib/matching/koenig.mli: Graph Hopcroft_karp Netgraph

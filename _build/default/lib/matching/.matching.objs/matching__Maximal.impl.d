@@ -1,0 +1,1 @@
+lib/matching/maximal.ml: Array Fun Graph List Netgraph

@@ -1,0 +1,1 @@
+lib/matching/maximal.mli: Graph Netgraph

@@ -1,0 +1,123 @@
+open Netgraph
+
+type result = {
+  size : int;
+  mate : Graph.vertex array;
+  edges : Graph.edge_id list;
+}
+
+(* Classic O(n^3) formulation: repeatedly grow an alternating BFS forest
+   from each free vertex, contracting blossoms on the fly via the [base]
+   array, and augment when a free vertex is reached. *)
+let max_matching g =
+  let n = Graph.n g in
+  let mate = Array.make n (-1) in
+  let parent = Array.make n (-1) in
+  let base = Array.init n Fun.id in
+  let used = Array.make n false in
+  let in_blossom = Array.make n false in
+  let queue = Queue.create () in
+
+  let lowest_common_ancestor a b =
+    let on_path = Array.make n false in
+    let rec mark v =
+      on_path.(base.(v)) <- true;
+      if mate.(base.(v)) >= 0 then mark parent.(mate.(base.(v)))
+    in
+    mark a;
+    let rec find v = if on_path.(base.(v)) then base.(v) else find parent.(mate.(base.(v))) in
+    find b
+  in
+
+  (* Mark blossom vertices on the path from [v] down to base [b], rerooting
+     parents so the stem alternates through [child]. *)
+  let rec mark_path v b child =
+    if base.(v) <> b then begin
+      in_blossom.(base.(v)) <- true;
+      in_blossom.(base.(mate.(v))) <- true;
+      parent.(v) <- child;
+      mark_path parent.(mate.(v)) b mate.(v)
+    end
+  in
+
+  let find_augmenting_path root =
+    Array.fill used 0 n false;
+    Array.fill parent 0 n (-1);
+    for i = 0 to n - 1 do
+      base.(i) <- i
+    done;
+    used.(root) <- true;
+    Queue.clear queue;
+    Queue.add root queue;
+    let augment_end = ref (-1) in
+    while !augment_end < 0 && not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      let nbrs = Graph.neighbors g v in
+      let i = ref 0 in
+      while !augment_end < 0 && !i < Array.length nbrs do
+        let w = nbrs.(!i) in
+        incr i;
+        if base.(v) <> base.(w) && mate.(v) <> w then begin
+          if w = root || (mate.(w) >= 0 && parent.(mate.(w)) >= 0) then begin
+            (* An odd cycle: contract the blossom. *)
+            let cur_base = lowest_common_ancestor v w in
+            Array.fill in_blossom 0 n false;
+            mark_path v cur_base w;
+            mark_path w cur_base v;
+            for u = 0 to n - 1 do
+              if in_blossom.(base.(u)) then begin
+                base.(u) <- cur_base;
+                if not used.(u) then begin
+                  used.(u) <- true;
+                  Queue.add u queue
+                end
+              end
+            done
+          end
+          else if parent.(w) < 0 then begin
+            parent.(w) <- v;
+            if mate.(w) < 0 then augment_end := w
+            else begin
+              used.(mate.(w)) <- true;
+              Queue.add mate.(w) queue
+            end
+          end
+        end
+      done
+    done;
+    !augment_end
+  in
+
+  let augment last =
+    let rec flip v =
+      if v >= 0 then begin
+        let pv = parent.(v) in
+        let next = mate.(pv) in
+        mate.(v) <- pv;
+        mate.(pv) <- v;
+        flip next
+      end
+    in
+    flip last
+  in
+
+  let size = ref 0 in
+  for v = 0 to n - 1 do
+    if mate.(v) < 0 then begin
+      let last = find_augmenting_path v in
+      if last >= 0 then begin
+        augment last;
+        incr size
+      end
+    end
+  done;
+  let edges = ref [] in
+  for v = 0 to n - 1 do
+    if mate.(v) > v then
+      match Graph.find_edge g v mate.(v) with
+      | Some id -> edges := id :: !edges
+      | None -> assert false
+  done;
+  { size = !size; mate; edges = !edges }
+
+let matching_number g = (max_matching g).size

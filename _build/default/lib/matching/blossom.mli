@@ -1,0 +1,18 @@
+(** Edmonds' blossom algorithm: maximum matching in general graphs, O(n³).
+
+    Needed because the Tuple model is defined on arbitrary graphs: the
+    minimum edge cover behind Theorem 3.1 is [n - μ(G)] with [μ] the general
+    maximum-matching number (Gallai), not the bipartite one. *)
+
+open Netgraph
+
+type result = {
+  size : int;  (** number of matched pairs, μ(G) *)
+  mate : Graph.vertex array;  (** partner per vertex, [-1] if unmatched *)
+  edges : Graph.edge_id list;  (** the matching as edge ids *)
+}
+
+val max_matching : Graph.t -> result
+
+(** Maximum matching size μ(G) only. *)
+val matching_number : Graph.t -> int

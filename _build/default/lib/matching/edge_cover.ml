@@ -1,0 +1,45 @@
+open Netgraph
+
+let require_no_isolated g =
+  if Graph.has_isolated_vertex g then
+    invalid_arg "Edge_cover: graph has an isolated vertex"
+
+let minimum g =
+  require_no_isolated g;
+  let { Blossom.mate; edges; _ } = Blossom.max_matching g in
+  let extra = ref [] in
+  for v = 0 to Graph.n g - 1 do
+    if mate.(v) < 0 then
+      (* Any incident edge covers the unmatched vertex. *)
+      extra := (Graph.incident_edges g v).(0) :: !extra
+  done;
+  edges @ !extra
+
+let rho g =
+  require_no_isolated g;
+  Graph.n g - Blossom.matching_number g
+
+let of_size g k =
+  require_no_isolated g;
+  if k > Graph.m g then None
+  else
+    let cover = minimum g in
+    let need = k - List.length cover in
+    if need < 0 then None
+    else begin
+      let used = Array.make (Graph.m g) false in
+      List.iter (fun id -> used.(id) <- true) cover;
+      let padding = ref [] in
+      let remaining = ref need in
+      let id = ref 0 in
+      while !remaining > 0 do
+        if not used.(!id) then begin
+          padding := !id :: !padding;
+          decr remaining
+        end;
+        incr id
+      done;
+      Some (cover @ !padding)
+    end
+
+let exists_of_size g k = k <= Graph.m g && k >= rho g

@@ -1,0 +1,22 @@
+(** Minimum edge covers via Gallai's identity ρ(G) = n − μ(G).
+
+    All functions require a graph without isolated vertices (an isolated
+    vertex admits no edge cover); they raise [Invalid_argument] otherwise. *)
+
+open Netgraph
+
+(** Minimum edge-cover size ρ(G). *)
+val rho : Graph.t -> int
+
+(** A minimum edge cover: a maximum matching completed by one arbitrary
+    incident edge per unmatched vertex. *)
+val minimum : Graph.t -> Graph.edge_id list
+
+(** [of_size g k] is an edge cover with exactly [k] distinct edges — a
+    minimum cover padded with unused edges — or [None] when [k < ρ(G)] or
+    [k > m].  This is the witness for Theorem 3.1's pure NE. *)
+val of_size : Graph.t -> int -> Graph.edge_id list option
+
+(** [exists_of_size g k] decides [ρ(G) ≤ k ≤ m] (Corollary 3.2's
+    polynomial-time test). *)
+val exists_of_size : Graph.t -> int -> bool

@@ -1,0 +1,49 @@
+open Netgraph
+
+type t = {
+  d : Graph.vertex list;
+  a : Graph.vertex list;
+  c : Graph.vertex list;
+  mu : int;
+}
+
+let delete_vertex g v =
+  let edges =
+    Graph.fold_edges g ~init:[] ~f:(fun acc _ e ->
+        if e.Graph.u = v || e.Graph.v = v then acc else (e.Graph.u, e.Graph.v) :: acc)
+  in
+  Graph.make ~n:(Graph.n g) edges
+
+let is_inessential g v =
+  Blossom.matching_number (delete_vertex g v) = Blossom.matching_number g
+
+let decompose g =
+  let mu = Blossom.matching_number g in
+  let n = Graph.n g in
+  let in_d = Array.make n false in
+  for v = 0 to n - 1 do
+    if Blossom.matching_number (delete_vertex g v) = mu then in_d.(v) <- true
+  done;
+  let in_a = Array.make n false in
+  for v = 0 to n - 1 do
+    if in_d.(v) then
+      Array.iter
+        (fun w -> if not in_d.(w) then in_a.(w) <- true)
+        (Graph.neighbors g v)
+  done;
+  let collect pred =
+    let out = ref [] in
+    for v = n - 1 downto 0 do
+      if pred v then out := v :: !out
+    done;
+    !out
+  in
+  {
+    d = collect (fun v -> in_d.(v));
+    a = collect (fun v -> in_a.(v));
+    c = collect (fun v -> (not in_d.(v)) && not in_a.(v));
+    mu;
+  }
+
+let has_perfect_matching g =
+  Graph.n g mod 2 = 0 && 2 * Blossom.matching_number g = Graph.n g

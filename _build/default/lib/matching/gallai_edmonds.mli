@@ -1,0 +1,33 @@
+(** The Gallai–Edmonds decomposition: the canonical structure theorem of
+    maximum matchings.
+
+    [d]: inessential vertices (missed by at least one maximum matching);
+    [a]: their outside neighbours (the separating set);
+    [c]: the rest (perfectly matchable among themselves).
+
+    Computed by the robust definitional route — v ∈ D iff
+    μ(G − v) = μ(G) — at O(n) blossom runs, which is plenty for the
+    instance sizes this project analyses.  Used to reason about which
+    graphs can carry matching equilibria: admissible partitions force
+    τ = μ (König–Egerváry, see DESIGN.md), and deviations from KE-ness
+    show up as odd structure inside [d]. *)
+
+open Netgraph
+
+type t = {
+  d : Graph.vertex list;  (** inessential vertices, sorted *)
+  a : Graph.vertex list;  (** N(D) \ D, sorted *)
+  c : Graph.vertex list;  (** remaining vertices, sorted *)
+  mu : int;  (** maximum matching size of the whole graph *)
+}
+
+val decompose : Graph.t -> t
+
+(** [is_inessential g v]: some maximum matching misses [v]
+    (μ(G−v) = μ(G)). *)
+val is_inessential : Graph.t -> Graph.vertex -> bool
+
+(** Gallai–Edmonds consequences used as test oracles: every component of
+    G[D] is factor-critical, so in particular G has a perfect matching
+    iff [d = []]. *)
+val has_perfect_matching : Graph.t -> bool

@@ -1,0 +1,86 @@
+open Netgraph
+
+type verdict = {
+  expander : bool;
+  saturating_matching : Graph.edge_id list option;
+  violating_set : Graph.vertex list option;
+}
+
+let complement g vs =
+  let mark = Array.make (Graph.n g) false in
+  List.iter
+    (fun v ->
+      if v < 0 || v >= Graph.n g then invalid_arg "Hall: vertex out of range";
+      if mark.(v) then invalid_arg "Hall: duplicate vertex";
+      mark.(v) <- true)
+    vs;
+  let out = ref [] in
+  for v = Graph.n g - 1 downto 0 do
+    if not mark.(v) then out := v :: !out
+  done;
+  !out
+
+let check g ~vc =
+  let is = complement g vc in
+  let { Hopcroft_karp.size; mate; edges } =
+    Hopcroft_karp.max_matching g ~left:vc ~right:is
+  in
+  if size = List.length vc then
+    { expander = true; saturating_matching = Some edges; violating_set = None }
+  else begin
+    (* Hall violator: vc vertices reachable from an unmatched vc vertex by
+       alternating paths; their crossing neighbourhood is deficient. *)
+    let n = Graph.n g in
+    let in_vc = Array.make n false in
+    List.iter (fun v -> in_vc.(v) <- true) vc;
+    let reached = Array.make n false in
+    let queue = Queue.create () in
+    List.iter
+      (fun v ->
+        if mate.(v) < 0 then begin
+          reached.(v) <- true;
+          Queue.add v queue
+        end)
+      vc;
+    while not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      if in_vc.(v) then
+        Array.iter
+          (fun w ->
+            if (not in_vc.(w)) && mate.(v) <> w && not reached.(w) then begin
+              reached.(w) <- true;
+              Queue.add w queue
+            end)
+          (Graph.neighbors g v)
+      else if mate.(v) >= 0 && not reached.(mate.(v)) then begin
+        reached.(mate.(v)) <- true;
+        Queue.add mate.(v) queue
+      end
+    done;
+    let violator = List.filter (fun v -> reached.(v)) vc in
+    { expander = false; saturating_matching = None; violating_set = Some violator }
+  end
+
+let check_exhaustive g ~vc =
+  let vc = Array.of_list vc in
+  let size = Array.length vc in
+  if size > 20 then invalid_arg "Hall.check_exhaustive: subset too large";
+  let in_vc = Array.make (Graph.n g) false in
+  Array.iter (fun v -> in_vc.(v) <- true) vc;
+  let ok = ref true in
+  for mask = 1 to (1 lsl size) - 1 do
+    if !ok then begin
+      let members = ref [] and cardinality = ref 0 in
+      for i = 0 to size - 1 do
+        if mask land (1 lsl i) <> 0 then begin
+          members := vc.(i) :: !members;
+          incr cardinality
+        end
+      done;
+      let crossing_neighbors =
+        Graph.neighborhood g !members |> List.filter (fun w -> not in_vc.(w))
+      in
+      if List.length crossing_neighbors < !cardinality then ok := false
+    end
+  done;
+  !ok

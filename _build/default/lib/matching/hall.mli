@@ -1,0 +1,31 @@
+(** The `VC`-expander condition of the paper (Section 2.1), under the
+    reading documented in DESIGN.md: with [is = V \ vc],
+
+      G is a [vc]-expander  iff  ∀ X ⊆ vc, |Neigh_G(X) ∩ is| ≥ |X|,
+
+    i.e. Hall's condition on the bipartite graph of G-edges crossing the
+    partition.  By Hall's theorem this holds iff that bipartite graph has a
+    matching saturating [vc] — giving a polynomial-time decision procedure
+    and, when satisfied, the saturating matching that the matching-NE
+    construction of [7] needs. *)
+
+open Netgraph
+
+type verdict = {
+  expander : bool;
+  saturating_matching : Graph.edge_id list option;
+      (** for each [vc] vertex one crossing edge to a distinct [is]
+          vertex; present iff [expander] *)
+  violating_set : Graph.vertex list option;
+      (** a deficient [X ⊆ vc] (|N(X) ∩ is| < |X|); present iff not
+          [expander] *)
+}
+
+(** Decide the expander condition for subset [vc] expanding into its
+    complement. @raise Invalid_argument on out-of-range/duplicate
+    vertices. *)
+val check : Graph.t -> vc:Graph.vertex list -> verdict
+
+(** Exhaustive reference (2^|vc| subsets) used to validate [check] in
+    tests. @raise Invalid_argument if [|vc| > 20]. *)
+val check_exhaustive : Graph.t -> vc:Graph.vertex list -> bool

@@ -1,0 +1,113 @@
+open Netgraph
+
+type result = {
+  size : int;
+  mate : Graph.vertex array;
+  edges : Graph.edge_id list;
+}
+
+let validate_sides g ~left ~right =
+  let n = Graph.n g in
+  let seen = Array.make n 0 in
+  let register side v =
+    if v < 0 || v >= n then invalid_arg "Hopcroft_karp: vertex out of range";
+    if seen.(v) <> 0 then invalid_arg "Hopcroft_karp: sides intersect or repeat";
+    seen.(v) <- side
+  in
+  List.iter (register 1) left;
+  List.iter (register 2) right;
+  seen
+
+let inf = max_int
+
+let max_matching g ~left ~right =
+  let side = validate_sides g ~left ~right in
+  let lefts = Array.of_list left in
+  let nl = Array.length lefts in
+  (* Crossing adjacency, left-indexed: (right graph-vertex, edge id). *)
+  let adj =
+    Array.map
+      (fun v ->
+        Graph.incident_edges g v
+        |> Array.to_list
+        |> List.filter_map (fun id ->
+               let w = Graph.opposite g id v in
+               if side.(w) = 2 then Some (w, id) else None)
+        |> Array.of_list)
+      lefts
+  in
+  let mate = Array.make (Graph.n g) (-1) in
+  let dist = Array.make nl inf in
+  let queue = Queue.create () in
+  (* BFS over left vertices through alternating paths; returns true if some
+     free right vertex is reachable. *)
+  let left_index = Array.make (Graph.n g) (-1) in
+  Array.iteri (fun i v -> left_index.(v) <- i) lefts;
+  let bfs () =
+    Queue.clear queue;
+    let reachable_free = ref false in
+    Array.iteri
+      (fun i v ->
+        if mate.(v) < 0 then begin
+          dist.(i) <- 0;
+          Queue.add i queue
+        end
+        else dist.(i) <- inf)
+      lefts;
+    while not (Queue.is_empty queue) do
+      let i = Queue.pop queue in
+      Array.iter
+        (fun (w, _) ->
+          match mate.(w) with
+          | -1 -> reachable_free := true
+          | partner ->
+              let j = left_index.(partner) in
+              if dist.(j) = inf then begin
+                dist.(j) <- dist.(i) + 1;
+                Queue.add j queue
+              end)
+        adj.(i)
+    done;
+    !reachable_free
+  in
+  let rec dfs i =
+    let found = ref false in
+    let row = adj.(i) in
+    let k = ref 0 in
+    while (not !found) && !k < Array.length row do
+      let w, _ = row.(!k) in
+      incr k;
+      let extendable =
+        match mate.(w) with
+        | -1 -> true
+        | partner ->
+            let j = left_index.(partner) in
+            dist.(j) = dist.(i) + 1 && dfs j
+      in
+      if extendable then begin
+        mate.(w) <- lefts.(i);
+        mate.(lefts.(i)) <- w;
+        found := true
+      end
+    done;
+    if not !found then dist.(i) <- inf;
+    !found
+  in
+  let size = ref 0 in
+  while bfs () do
+    Array.iteri
+      (fun i v -> if mate.(v) < 0 && dfs i then incr size)
+      lefts
+  done;
+  (* Recover matching edge ids. *)
+  let edges =
+    Array.to_list lefts
+    |> List.filter_map (fun v ->
+           if mate.(v) >= 0 then Graph.find_edge g v mate.(v) else None)
+  in
+  { size = !size; mate; edges }
+
+let max_matching_bipartite g =
+  match Bipartite.coloring g with
+  | None -> invalid_arg "Hopcroft_karp.max_matching_bipartite: graph not bipartite"
+  | Some c -> max_matching g ~left:c.Bipartite.side_a ~right:c.Bipartite.side_b

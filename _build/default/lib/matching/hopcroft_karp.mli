@@ -1,0 +1,23 @@
+(** Hopcroft–Karp maximum bipartite matching, O(m √n).
+
+    Operates on an arbitrary graph restricted to the edges crossing a given
+    disjoint vertex bipartition [(left, right)].  Vertices outside the two
+    sides (and edges not crossing them) are ignored, which is exactly what
+    the `VC`-expander test needs on general graphs. *)
+
+open Netgraph
+
+type result = {
+  size : int;  (** number of matched pairs *)
+  mate : Graph.vertex array;
+      (** [mate.(v)] is [v]'s partner, or [-1]; indexed by graph vertex *)
+  edges : Graph.edge_id list;  (** matching as edge ids of the host graph *)
+}
+
+(** @raise Invalid_argument if [left] and [right] intersect or contain
+    out-of-range or duplicated vertices. *)
+val max_matching : Graph.t -> left:Graph.vertex list -> right:Graph.vertex list -> result
+
+(** Convenience: maximum matching of a bipartite graph using its
+    2-colouring. @raise Invalid_argument if [g] is not bipartite. *)
+val max_matching_bipartite : Graph.t -> result

@@ -1,0 +1,79 @@
+open Netgraph
+
+let adjacency_masks g =
+  let n = Graph.n g in
+  let masks = Array.make n 0 in
+  Graph.iter_edges g ~f:(fun _ e ->
+      masks.(e.Graph.u) <- masks.(e.Graph.u) lor (1 lsl e.Graph.v);
+      masks.(e.Graph.v) <- masks.(e.Graph.v) lor (1 lsl e.Graph.u));
+  masks
+
+let vertices_of_mask n mask =
+  let out = ref [] in
+  for v = n - 1 downto 0 do
+    if mask land (1 lsl v) <> 0 then out := v :: !out
+  done;
+  !out
+
+let popcount mask =
+  let rec go m acc = if m = 0 then acc else go (m land (m - 1)) (acc + 1) in
+  go mask 0
+
+let maximum g =
+  let n = Graph.n g in
+  if n > 30 then invalid_arg "Independent.maximum: graph too large";
+  let adj = adjacency_masks g in
+  let best = ref 0 and best_mask = ref 0 in
+  (* Branch on the lowest candidate vertex: include it (dropping its
+     neighbours) or exclude it; prune when even taking everything left
+     cannot beat the incumbent. *)
+  let rec go candidates chosen count =
+    if count + popcount candidates <= !best then ()
+    else if candidates = 0 then begin
+      best := count;
+      best_mask := chosen
+    end
+    else begin
+      let v = candidates land -candidates in
+      let vi =
+        (* index of the single set bit *)
+        let rec idx m i = if m = 1 then i else idx (m lsr 1) (i + 1) in
+        idx v 0
+      in
+      go (candidates land lnot (v lor adj.(vi))) (chosen lor v) (count + 1);
+      go (candidates land lnot v) chosen count
+    end
+  in
+  go ((1 lsl n) - 1) 0 0;
+  vertices_of_mask n !best_mask
+
+let independence_number g = List.length (maximum g)
+
+let all_maximal g =
+  let n = Graph.n g in
+  if n > 20 then invalid_arg "Independent.all_maximal: graph too large";
+  let adj = adjacency_masks g in
+  let results = ref [] in
+  (* Bron–Kerbosch (no pivot; fine at this size) on the complement:
+     maximal independent sets of g. *)
+  let rec go chosen candidates excluded =
+    if candidates = 0 && excluded = 0 then
+      results := vertices_of_mask n chosen :: !results
+    else begin
+      let rec loop candidates excluded =
+        if candidates <> 0 then begin
+          let v = candidates land -candidates in
+          let vi =
+            let rec idx m i = if m = 1 then i else idx (m lsr 1) (i + 1) in
+            idx v 0
+          in
+          let non_adj = lnot (v lor adj.(vi)) in
+          go (chosen lor v) (candidates land non_adj) (excluded land non_adj);
+          loop (candidates land lnot v) (excluded lor v)
+        end
+      in
+      loop candidates excluded
+    end
+  in
+  go 0 ((1 lsl n) - 1) 0;
+  List.sort compare !results

@@ -1,0 +1,37 @@
+open Netgraph
+
+let maximal_matching g =
+  let used = Array.make (Graph.n g) false in
+  Graph.fold_edges g ~init:[] ~f:(fun acc id e ->
+      if used.(e.Graph.u) || used.(e.Graph.v) then acc
+      else begin
+        used.(e.Graph.u) <- true;
+        used.(e.Graph.v) <- true;
+        id :: acc
+      end)
+  |> List.rev
+
+let two_approx_vertex_cover g =
+  maximal_matching g
+  |> List.concat_map (fun id ->
+         let e = Graph.edge g id in
+         [ e.Graph.u; e.Graph.v ])
+  |> List.sort_uniq compare
+
+let greedy_independent_set g =
+  let order =
+    List.init (Graph.n g) Fun.id
+    |> List.sort (fun a b -> compare (Graph.degree g a) (Graph.degree g b))
+  in
+  let blocked = Array.make (Graph.n g) false in
+  let chosen =
+    List.filter
+      (fun v ->
+        if blocked.(v) then false
+        else begin
+          Array.iter (fun w -> blocked.(w) <- true) (Graph.neighbors g v);
+          true
+        end)
+      order
+  in
+  List.sort compare chosen

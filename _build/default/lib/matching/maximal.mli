@@ -1,0 +1,15 @@
+(** Greedy baselines: cheap structures used as references and baselines in
+    tests and benchmarks (a maximal matching is a 1/2-approximation of the
+    maximum; its endpoints are a 2-approximation of minimum vertex cover). *)
+
+open Netgraph
+
+(** Greedy maximal matching in edge-id order. *)
+val maximal_matching : Graph.t -> Graph.edge_id list
+
+(** Endpoints of a greedy maximal matching: a vertex cover of size at most
+    twice the minimum. *)
+val two_approx_vertex_cover : Graph.t -> Graph.vertex list
+
+(** Greedy independent set by ascending degree. *)
+val greedy_independent_set : Graph.t -> Graph.vertex list

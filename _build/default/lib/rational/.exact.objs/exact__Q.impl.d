@@ -1,0 +1,1 @@
+lib/rational/q.ml: Format List Printf Stdlib

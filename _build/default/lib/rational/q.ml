@@ -1,0 +1,113 @@
+type t = { num : int; den : int }
+
+exception Overflow
+exception Division_by_zero
+
+(* Overflow-checked primitives.  [min_int] is excluded outright: its
+   negation is itself, which breaks normalization. *)
+
+let check_representable n = if n = min_int then raise Overflow else n
+
+let add_ovf a b =
+  let s = a + b in
+  if (a >= 0) = (b >= 0) && (s >= 0) <> (a >= 0) then raise Overflow
+  else check_representable s
+
+let mul_ovf a b =
+  if a = 0 || b = 0 then 0
+  else
+    let p = a * b in
+    if p / a <> b then raise Overflow else check_representable p
+
+let neg_ovf a = if a = min_int then raise Overflow else -a
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+(* Invariant: den > 0 and gcd (|num|, den) = 1. *)
+let norm num den =
+  if den = 0 then raise Division_by_zero;
+  let num, den = if den < 0 then (neg_ovf num, neg_ovf den) else (num, den) in
+  if num = 0 then { num = 0; den = 1 }
+  else
+    let g = gcd (abs num) den in
+    { num = num / g; den = den / g }
+
+let make num den = norm (check_representable num) (check_representable den)
+let of_int n = { num = check_representable n; den = 1 }
+let zero = { num = 0; den = 1 }
+let one = { num = 1; den = 1 }
+let minus_one = { num = -1; den = 1 }
+let num q = q.num
+let den q = q.den
+
+let add a b =
+  (* Knuth's trick keeps intermediates small: work modulo the gcd of the
+     denominators before cross-multiplying. *)
+  let g = gcd a.den b.den in
+  let da = a.den / g and db = b.den / g in
+  let n = add_ovf (mul_ovf a.num db) (mul_ovf b.num da) in
+  norm n (mul_ovf a.den db)
+
+let neg a = { a with num = neg_ovf a.num }
+let sub a b = add a (neg b)
+
+let mul a b =
+  let g1 = gcd (abs a.num) b.den and g2 = gcd (abs b.num) a.den in
+  let n = mul_ovf (a.num / g1) (b.num / g2) in
+  let d = mul_ovf (a.den / g2) (b.den / g1) in
+  norm n d
+
+let inv a =
+  if a.num = 0 then raise Division_by_zero
+  else if a.num > 0 then { num = a.den; den = a.num }
+  else { num = neg_ovf a.den; den = neg_ovf a.num }
+
+let div a b = mul a (inv b)
+let mul_int q n = mul q (of_int n)
+let div_int q n = div q (of_int n)
+let abs a = if a.num < 0 then neg a else a
+let sign a = compare a.num 0
+
+let compare a b =
+  (* Exact comparison via cross multiplication with shared-factor removal. *)
+  if a.den = b.den then Stdlib.compare a.num b.num
+  else
+    let g = gcd a.den b.den in
+    let da = a.den / g and db = b.den / g in
+    Stdlib.compare (mul_ovf a.num db) (mul_ovf b.num da)
+
+let equal a b = a.num = b.num && a.den = b.den
+let ( = ) = equal
+let ( < ) a b = Stdlib.( < ) (compare a b) 0
+let ( <= ) a b = Stdlib.( <= ) (compare a b) 0
+let ( > ) a b = Stdlib.( > ) (compare a b) 0
+let ( >= ) a b = Stdlib.( >= ) (compare a b) 0
+let min a b = if a <= b then a else b
+let max a b = if a >= b then a else b
+let is_zero a = Stdlib.( = ) a.num 0
+let is_integer a = Stdlib.( = ) a.den 1
+
+let to_int_exn a =
+  if is_integer a then a.num
+  else invalid_arg "Q.to_int_exn: not an integer"
+
+let to_float a = float_of_int a.num /. float_of_int a.den
+let sum qs = List.fold_left add zero qs
+
+let average = function
+  | [] -> invalid_arg "Q.average: empty list"
+  | qs -> div_int (sum qs) (List.length qs)
+
+let min_list = function
+  | [] -> invalid_arg "Q.min_list: empty list"
+  | q :: qs -> List.fold_left min q qs
+
+let max_list = function
+  | [] -> invalid_arg "Q.max_list: empty list"
+  | q :: qs -> List.fold_left max q qs
+
+let to_string a =
+  if is_integer a then string_of_int a.num
+  else Printf.sprintf "%d/%d" a.num a.den
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)

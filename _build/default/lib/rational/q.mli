@@ -1,0 +1,94 @@
+(** Exact rational arithmetic over native (63-bit) integers.
+
+    Values are kept normalized: the denominator is strictly positive and the
+    numerator and denominator are coprime.  All operations that could exceed
+    the native integer range raise {!Overflow} instead of silently wrapping,
+    so results are either exact or loudly absent.  The equilibrium quantities
+    of the Tuple model have numerators and denominators bounded by small
+    polynomials in the instance size, for which native integers are ample. *)
+
+type t
+
+(** Raised when an intermediate product or sum would exceed the native
+    integer range. *)
+exception Overflow
+
+(** Raised by {!make}, {!div} and {!inv} on a zero denominator. *)
+exception Division_by_zero
+
+val zero : t
+val one : t
+val minus_one : t
+
+(** [make num den] is the normalized rational [num/den].
+    @raise Division_by_zero if [den = 0]. *)
+val make : int -> int -> t
+
+(** [of_int n] is the rational [n/1]. *)
+val of_int : int -> t
+
+(** Numerator of the normalized representation. *)
+val num : t -> int
+
+(** Denominator of the normalized representation; always [> 0]. *)
+val den : t -> int
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** @raise Division_by_zero if the divisor is zero. *)
+val div : t -> t -> t
+
+val neg : t -> t
+
+(** Multiplicative inverse. @raise Division_by_zero on zero. *)
+val inv : t -> t
+
+(** [mul_int q n] is [q * n]. *)
+val mul_int : t -> int -> t
+
+(** [div_int q n] is [q / n]. @raise Division_by_zero if [n = 0]. *)
+val div_int : t -> int -> t
+
+val abs : t -> t
+
+(** [-1], [0] or [1]. *)
+val sign : t -> int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( = ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+val is_zero : t -> bool
+
+(** [true] iff the denominator is 1. *)
+val is_integer : t -> bool
+
+(** Exact integer value. @raise Invalid_argument if not an integer. *)
+val to_int_exn : t -> int
+
+val to_float : t -> float
+
+(** Sum of a list; [zero] for the empty list. *)
+val sum : t list -> t
+
+(** Arithmetic mean. @raise Invalid_argument on the empty list. *)
+val average : t list -> t
+
+(** Minimum of a non-empty list. @raise Invalid_argument on []. *)
+val min_list : t list -> t
+
+(** Maximum of a non-empty list. @raise Invalid_argument on []. *)
+val max_list : t list -> t
+
+(** ["num/den"], or just ["num"] when the value is an integer. *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

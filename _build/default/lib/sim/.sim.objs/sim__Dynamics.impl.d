@@ -1,0 +1,1 @@
+lib/sim/dynamics.ml: Array Defender Fun Graph List Netgraph Option Prng

@@ -1,0 +1,1 @@
+lib/sim/fictitious.ml: Array Defender Graph List Netgraph Option Prng

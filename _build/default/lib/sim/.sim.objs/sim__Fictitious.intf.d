@@ -1,0 +1,1 @@
+lib/sim/fictitious.mli: Defender Prng

@@ -1,0 +1,1 @@
+lib/sim/workload.ml: Array Defender Dist Exact Fun Graph List Netgraph Printf Prng

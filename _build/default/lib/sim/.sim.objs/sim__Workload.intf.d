@@ -1,0 +1,1 @@
+lib/sim/workload.mli: Defender Dist Exact Graph Netgraph Prng

@@ -1,0 +1,37 @@
+(** Best-response dynamics in pure strategies.
+
+    Operationalizes Theorem 3.1 / Corollary 3.3: starting from a random
+    pure configuration, a randomly chosen dissatisfied player switches
+    each step — attackers to a random uncovered vertex, the defender to a
+    best-response tuple (exact by enumeration when the tuple space is
+    small, greedy otherwise), moving only on a strict payoff improvement
+    and breaking ties among best responses toward maximum vertex coverage.
+    With that tie-break the process converges exactly when a pure NE
+    exists (an edge cover of size k): any defender improvement step lands
+    on a full cover, trapping every attacker.  When n ≥ 2k+1 there is no
+    pure NE and the dynamics churn forever, which experiment T2
+    demonstrates by step-budget timeout. *)
+
+type result =
+  | Converged of { steps : int; profile : Defender.Profile.pure }
+  | Cycling of { steps : int }  (** step budget exhausted without a pure NE *)
+
+type step_record = {
+  step : int;
+  mover : [ `Attacker of int | `Defender ];
+  caught_after : int;
+}
+
+(** [run rng model ~max_steps] plays the dynamics.  A profile is only
+    reported [Converged] after a stability check that is exact whenever
+    C(m,k) ≤ 200000 (and greedy beyond, where a false convergence report
+    is possible — callers doing science should stay in the exact regime).
+    [record] observes each step. *)
+val run :
+  ?record:(step_record -> unit) ->
+  Prng.Rng.t ->
+  Defender.Model.t ->
+  max_steps:int ->
+  result
+
+val is_converged : result -> bool

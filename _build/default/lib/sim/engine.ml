@@ -1,0 +1,79 @@
+open Netgraph
+module Q = Exact.Q
+module Rng = Prng.Rng
+
+type round = {
+  index : int;
+  choices : Graph.vertex array;
+  tuple : Defender.Tuple.t;
+  caught : int;
+}
+
+type stats = {
+  rounds : int;
+  total_caught : int;
+  mean_caught : float;
+  stddev_caught : float;
+  per_player_escapes : int array;
+}
+
+let escape_rate stats i =
+  float_of_int stats.per_player_escapes.(i) /. float_of_int stats.rounds
+
+let confidence95 stats =
+  1.96 *. stats.stddev_caught /. sqrt (float_of_int stats.rounds)
+
+let sample_tuple rng strategy =
+  let target = Rng.float rng in
+  let rec scan acc = function
+    | [ (t, _) ] -> t
+    | (t, p) :: rest ->
+        let acc = acc +. Q.to_float p in
+        if target < acc then t else scan acc rest
+    | [] -> assert false
+  in
+  scan 0.0 strategy
+
+let play ?record rng profile ~rounds =
+  if rounds < 1 then invalid_arg "Engine.play: rounds must be positive";
+  let model = Defender.Profile.model profile in
+  let g = Defender.Model.graph model in
+  let nu = Defender.Model.nu model in
+  let strategies =
+    Array.init nu (fun i -> Defender.Profile.vp_strategy profile i)
+  in
+  let tp_strategy = Defender.Profile.tp_strategy profile in
+  let per_player_escapes = Array.make nu 0 in
+  let total = ref 0 and total_sq = ref 0 in
+  let choices = Array.make nu 0 in
+  for index = 0 to rounds - 1 do
+    for i = 0 to nu - 1 do
+      choices.(i) <- Dist.Finite.sample rng strategies.(i)
+    done;
+    let tuple = sample_tuple rng tp_strategy in
+    let caught = ref 0 in
+    for i = 0 to nu - 1 do
+      if Defender.Tuple.covers g tuple choices.(i) then incr caught
+      else per_player_escapes.(i) <- per_player_escapes.(i) + 1
+    done;
+    total := !total + !caught;
+    total_sq := !total_sq + (!caught * !caught);
+    match record with
+    | Some f -> f { index; choices = Array.copy choices; tuple; caught = !caught }
+    | None -> ()
+  done;
+  let n = float_of_int rounds in
+  let mean = float_of_int !total /. n in
+  let variance = (float_of_int !total_sq /. n) -. (mean *. mean) in
+  {
+    rounds;
+    total_caught = !total;
+    mean_caught = mean;
+    stddev_caught = sqrt (max variance 0.0);
+    per_player_escapes;
+  }
+
+let agrees_with_analytic ?(z = 4.0) stats profile =
+  let exact = Q.to_float (Defender.Profit.expected_tp profile) in
+  let half_width = z *. stats.stddev_caught /. sqrt (float_of_int stats.rounds) in
+  abs_float (stats.mean_caught -. exact) <= half_width +. 1e-9

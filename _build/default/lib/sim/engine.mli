@@ -1,0 +1,39 @@
+(** Monte-Carlo play of Π_k(G): repeated independent rounds in which every
+    vertex player samples a vertex and the defender samples a tuple, used
+    to validate the exact expected profits empirically (experiment T7). *)
+
+open Netgraph
+
+type round = {
+  index : int;
+  choices : Graph.vertex array;  (** attacker positions this round *)
+  tuple : Defender.Tuple.t;      (** defender's scan this round *)
+  caught : int;                  (** attackers arrested this round *)
+}
+
+type stats = {
+  rounds : int;
+  total_caught : int;
+  mean_caught : float;           (** empirical defender gain per round *)
+  stddev_caught : float;
+  per_player_escapes : int array;  (** rounds escaped, per attacker *)
+}
+
+(** Empirical per-attacker escape probability. *)
+val escape_rate : stats -> int -> float
+
+(** 95% confidence half-width for [mean_caught] (normal approximation). *)
+val confidence95 : stats -> float
+
+(** [play rng profile ~rounds] simulates i.i.d. rounds of the mixed
+    configuration.  [record] (optional) observes every round.
+    @raise Invalid_argument if [rounds < 1]. *)
+val play :
+  ?record:(round -> unit) -> Prng.Rng.t -> Defender.Profile.mixed -> rounds:int -> stats
+
+(** [agrees_with_analytic ?z stats profile] — empirical mean within
+    [z] standard errors (default 4, a ~1-in-16000 false-alarm band chosen
+    so batched regression runs stay deterministic-green) of the exact
+    expectation, plus an absolute slack of 1e-9 for degenerate
+    zero-variance cases. *)
+val agrees_with_analytic : ?z:float -> stats -> Defender.Profile.mixed -> bool

@@ -1,0 +1,118 @@
+open Netgraph
+module Rng = Prng.Rng
+
+type result = {
+  rounds : int;
+  avg_gain : float;
+  tail_avg_gain : float;
+  attack_frequency : float array;
+  scan_frequency : float array;
+  gain_series : float array;
+}
+
+let enumeration_feasible g k limit =
+  let m = Graph.m g in
+  let rec go i acc =
+    if i > k then acc <= limit
+    else
+      let next = acc * (m - k + i) in
+      if next / (m - k + i) <> acc then false else go (i + 1) (next / i)
+  in
+  go 1 1
+
+(* Defender best response to empirical attack counts: max total count
+   over covered vertices. *)
+let exact_response g k (load : int array) =
+  let value t =
+    List.fold_left (fun acc v -> acc + load.(v)) 0 (Defender.Tuple.vertices g t)
+  in
+  Defender.Tuple.fold_enumerate g ~k ~init:None ~f:(fun acc t ->
+      match acc with
+      | Some (_, best) when best >= value t -> acc
+      | _ -> Some (t, value t))
+  |> Option.get |> fst
+
+let greedy_response g k (load : int array) =
+  let chosen = Array.make (Graph.m g) false in
+  let covered = Array.make (Graph.n g) false in
+  let picks = ref [] in
+  for _ = 1 to k do
+    let best = ref (-1) and best_gain = ref (-1) in
+    for id = 0 to Graph.m g - 1 do
+      if not chosen.(id) then begin
+        let e = Graph.edge g id in
+        let gain =
+          (if covered.(e.Graph.u) then 0 else load.(e.Graph.u))
+          + if covered.(e.Graph.v) then 0 else load.(e.Graph.v)
+        in
+        if gain > !best_gain then begin
+          best_gain := gain;
+          best := id
+        end
+      end
+    done;
+    chosen.(!best) <- true;
+    let e = Graph.edge g !best in
+    covered.(e.Graph.u) <- true;
+    covered.(e.Graph.v) <- true;
+    picks := !best :: !picks
+  done;
+  Defender.Tuple.of_list g !picks
+
+let run rng model ~rounds =
+  if rounds < 2 then invalid_arg "Fictitious.run: need at least two rounds";
+  let g = Defender.Model.graph model in
+  let nu = Defender.Model.nu model in
+  let k = Defender.Model.k model in
+  let n = Graph.n g in
+  let exact_ok = enumeration_feasible g k 100_000 in
+  let hit_count = Array.make n 0 in
+  let attack_count = Array.make n 0 in
+  let scan_count = Array.make (Graph.m g) 0 in
+  let gain_series = Array.make rounds 0.0 in
+  let total = ref 0 and tail_total = ref 0 in
+  let attacker_choice () =
+    (* least-scanned vertex, ties broken uniformly *)
+    let best = ref [] and best_count = ref max_int in
+    for v = 0 to n - 1 do
+      if hit_count.(v) < !best_count then begin
+        best_count := hit_count.(v);
+        best := [ v ]
+      end
+      else if hit_count.(v) = !best_count then best := v :: !best
+    done;
+    Rng.choose rng (Array.of_list !best)
+  in
+  let choices = Array.make nu 0 in
+  for r = 0 to rounds - 1 do
+    for i = 0 to nu - 1 do
+      choices.(i) <- attacker_choice ()
+    done;
+    let tuple =
+      if exact_ok then exact_response g k attack_count
+      else greedy_response g k attack_count
+    in
+    let covered = Defender.Tuple.vertices g tuple in
+    let caught = ref 0 in
+    for i = 0 to nu - 1 do
+      if Defender.Tuple.covers g tuple choices.(i) then incr caught;
+      attack_count.(choices.(i)) <- attack_count.(choices.(i)) + 1
+    done;
+    List.iter (fun v -> hit_count.(v) <- hit_count.(v) + 1) covered;
+    List.iter
+      (fun id -> scan_count.(id) <- scan_count.(id) + 1)
+      (Defender.Tuple.to_list tuple);
+    total := !total + !caught;
+    if r >= rounds / 2 then tail_total := !tail_total + !caught;
+    gain_series.(r) <- float_of_int !total /. float_of_int (r + 1)
+  done;
+  let denom = float_of_int rounds in
+  {
+    rounds;
+    avg_gain = float_of_int !total /. denom;
+    tail_avg_gain = float_of_int !tail_total /. float_of_int (rounds - (rounds / 2));
+    attack_frequency =
+      Array.map (fun c -> float_of_int c /. (denom *. float_of_int nu)) attack_count;
+    scan_frequency = Array.map (fun c -> float_of_int c /. denom) scan_count;
+    gain_series;
+  }

@@ -1,0 +1,25 @@
+(** Fictitious play for the Tuple model.
+
+    Each round every attacker best-responds to the defender's *empirical*
+    scan frequencies (a least-scanned vertex) and the defender
+    best-responds to the attackers' empirical location frequencies (a
+    max-coverage tuple, exact by enumeration when C(m,k) is small, greedy
+    otherwise).  The game is strategically zero-sum between the defender
+    and the (symmetric) attacker population, so by Robinson's theorem the
+    time-averaged play converges to equilibrium values: the long-run
+    average catch approaches the k-matching NE gain k·ν/|IS| on instances
+    that admit one.  Experiment F6 exhibits the convergence; it is an
+    independent, learning-dynamics route to the paper's equilibrium
+    quantities. *)
+
+type result = {
+  rounds : int;
+  avg_gain : float;  (** time-averaged defender catches per round *)
+  tail_avg_gain : float;  (** average over the last half (burn-in dropped) *)
+  attack_frequency : float array;  (** empirical attacker distribution over vertices *)
+  scan_frequency : float array;  (** empirical marginal scan rate per edge *)
+  gain_series : float array;  (** prefix-averaged gain, for convergence plots *)
+}
+
+(** @raise Invalid_argument if [rounds < 2]. *)
+val run : Prng.Rng.t -> Defender.Model.t -> rounds:int -> result

@@ -1,0 +1,57 @@
+(** Attack/defense policies beyond fixed mixed strategies, for scenario
+    simulation: what happens off-equilibrium, and why the NE defense is
+    the right thing to deploy (ablation experiments A1/A2).
+
+    Policies are stateful round-by-round players.  Adaptive attackers
+    epsilon-greedily re-target the links the defender has scanned least;
+    the greedy defender chases the empirically hottest links.  Against the
+    NE defense, adaptation buys the attackers nothing — that is Theorem
+    3.4 read operationally. *)
+
+open Netgraph
+
+type attacker_policy =
+  | Attacker_fixed of Dist.Finite.t
+      (** sample from a fixed distribution every round *)
+  | Attacker_uniform  (** uniform over all vertices *)
+  | Attacker_hotspot of { targets : Graph.vertex list; concentration : float }
+      (** probability [concentration] spread over [targets], remainder over
+          the other vertices *)
+  | Attacker_adaptive of { epsilon : float }
+      (** with prob [1-epsilon] pick a least-hit-so-far vertex, else
+          explore uniformly *)
+
+type defender_policy =
+  | Defender_fixed of (Defender.Tuple.t * Exact.Q.t) list
+      (** e.g. the NE strategy *)
+  | Defender_uniform_tuple  (** k distinct edges uniformly at random *)
+  | Defender_greedy of { epsilon : float }
+      (** scan the k edges with the highest empirical attacker load;
+          explore with prob [epsilon] *)
+  | Defender_round_robin  (** deterministic cyclic sweep of the edge set *)
+  | Defender_flaky of { base : defender_policy; failure_rate : float }
+      (** failure injection: with probability [failure_rate] the round's
+          scan silently produces nothing (sensor outage, dropped
+          mirror-port traffic); otherwise delegates to [base].  The NE
+          gain degrades exactly linearly: (1 − f)·k·ν/|IS|. *)
+
+type outcome = {
+  rounds : int;
+  total_caught : int;
+  mean_caught : float;
+  caught_series : int array;  (** per-round catches, for time-series plots *)
+}
+
+(** [run rng model ~attacker ~defender ~rounds] plays the policies against
+    each other. @raise Invalid_argument on [rounds < 1] or a fixed policy
+    inconsistent with the model. *)
+val run :
+  Prng.Rng.t ->
+  Defender.Model.t ->
+  attacker:attacker_policy ->
+  defender:defender_policy ->
+  rounds:int ->
+  outcome
+
+val policy_name : defender_policy -> string
+val attacker_name : attacker_policy -> string

@@ -1,0 +1,1 @@
+test/test_dist.ml: Alcotest Dist Exact List Prng QCheck QCheck_alcotest

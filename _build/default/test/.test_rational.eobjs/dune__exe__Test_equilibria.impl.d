@@ -1,0 +1,1 @@
+test/test_equilibria.ml: Alcotest Array Defender Dist Exact Format Fun Gen Graph List Netgraph Printf Prng

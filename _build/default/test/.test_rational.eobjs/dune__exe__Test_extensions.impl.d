@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Defender Dist Exact Gen Graph List Lp Matching Netgraph Option Printf Prng Sim

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Bipartite Dot Edge_list Gen Graph List Netgraph Prng Props QCheck QCheck_alcotest String Traverse

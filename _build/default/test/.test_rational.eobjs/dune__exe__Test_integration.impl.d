@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Defender Edge_list Exact Gen Harness List Netgraph Printf Prng Sim

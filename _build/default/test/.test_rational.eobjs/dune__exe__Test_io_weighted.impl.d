@@ -1,0 +1,1 @@
+test/test_io_weighted.ml: Alcotest Char Defender Dist Exact Gen Graph Graph6 List Netgraph Option Prng QCheck QCheck_alcotest String

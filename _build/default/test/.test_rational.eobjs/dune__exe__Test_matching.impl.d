@@ -1,0 +1,1 @@
+test/test_matching.ml: Alcotest Array Fun Gen Graph List Matching Netgraph Prng QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Bipartite Gen Graph List Matching Metrics Netgraph Prng QCheck QCheck_alcotest Traverse

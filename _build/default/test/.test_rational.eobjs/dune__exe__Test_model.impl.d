@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Array Defender Dist Exact Fun Gen Graph List Netgraph Printf Prng QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_rational.ml: Alcotest Exact List QCheck QCheck_alcotest

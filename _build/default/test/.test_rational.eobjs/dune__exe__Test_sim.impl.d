@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Defender Dist Exact Gen Graph List Netgraph Printf Prng Sim

@@ -1,0 +1,1 @@
+test/test_structured.ml: Alcotest Defender Exact Fun Gen Graph List Matching Netgraph Printf Prng QCheck QCheck_alcotest String

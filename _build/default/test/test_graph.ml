@@ -1,0 +1,337 @@
+(* Tests for the netgraph substrate: core structure, generators,
+   traversal, bipartiteness, properties and serialization. *)
+
+open Netgraph
+
+let rng () = Prng.Rng.create 1234
+
+let test_make_validation () =
+  Alcotest.check_raises "negative n" (Invalid_argument "Graph.make: negative vertex count")
+    (fun () -> ignore (Graph.make ~n:(-1) []));
+  Alcotest.check_raises "self loop" (Invalid_argument "Graph.make: self-loop at 1")
+    (fun () -> ignore (Graph.make ~n:3 [ (1, 1) ]));
+  Alcotest.check_raises "duplicate" (Invalid_argument "Graph.make: duplicate edge (0,1)")
+    (fun () -> ignore (Graph.make ~n:3 [ (0, 1); (1, 0) ]));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Graph.make: endpoint out of range (0,5)") (fun () ->
+      ignore (Graph.make ~n:3 [ (0, 5) ]))
+
+let test_basic_accessors () =
+  let g = Graph.make ~n:4 [ (0, 1); (2, 1); (2, 3) ] in
+  Alcotest.(check int) "n" 4 (Graph.n g);
+  Alcotest.(check int) "m" 3 (Graph.m g);
+  Alcotest.(check (pair int int)) "normalized endpoints" (1, 2) (Graph.endpoints g 1);
+  Alcotest.(check bool) "adjacent" true (Graph.is_adjacent g 1 0);
+  Alcotest.(check bool) "not adjacent" false (Graph.is_adjacent g 0 3);
+  Alcotest.(check (option int)) "find_edge both ways" (Some 2) (Graph.find_edge g 3 2);
+  Alcotest.(check (option int)) "find_edge absent" None (Graph.find_edge g 0 2);
+  Alcotest.(check (array int)) "neighbors sorted" [| 0; 2 |] (Graph.neighbors g 1);
+  Alcotest.(check int) "degree" 2 (Graph.degree g 2);
+  Alcotest.(check int) "opposite" 1 (Graph.opposite g 0 0);
+  Alcotest.check_raises "opposite non-endpoint"
+    (Invalid_argument "Graph.opposite: 3 not an endpoint of edge 0") (fun () ->
+      ignore (Graph.opposite g 0 3))
+
+let test_folds () =
+  let g = Gen.cycle 5 in
+  Alcotest.(check int) "fold_vertices" 10
+    (Graph.fold_vertices g ~init:0 ~f:(fun acc v -> acc + v));
+  Alcotest.(check int) "fold_edges counts" 5
+    (Graph.fold_edges g ~init:0 ~f:(fun acc _ _ -> acc + 1));
+  let sum_deg = Graph.fold_vertices g ~init:0 ~f:(fun a v -> a + Graph.degree g v) in
+  Alcotest.(check int) "handshake lemma" (2 * Graph.m g) sum_deg
+
+let test_isolated () =
+  let g = Graph.make ~n:4 [ (0, 1) ] in
+  Alcotest.(check (list int)) "isolated" [ 2; 3 ] (Graph.isolated_vertices g);
+  Alcotest.(check bool) "has isolated" true (Graph.has_isolated_vertex g);
+  Alcotest.(check bool) "path has none" false (Gen.path 4 |> Graph.has_isolated_vertex)
+
+let test_neighborhood () =
+  let g = Gen.path 5 in
+  Alcotest.(check (list int)) "N({0})" [ 1 ] (Graph.neighborhood g [ 0 ]);
+  Alcotest.(check (list int)) "N({1,3})" [ 0; 2; 4 ] (Graph.neighborhood g [ 1; 3 ]);
+  Alcotest.(check (list int)) "N({2}) in cycle" [ 1; 3 ]
+    (Graph.neighborhood (Gen.cycle 5) [ 2 ])
+
+let test_edge_subgraph () =
+  let g = Gen.cycle 4 in
+  let sub, mapping = Graph.edge_subgraph g [ 0; 2 ] in
+  Alcotest.(check int) "same n" 4 (Graph.n sub);
+  Alcotest.(check int) "two edges" 2 (Graph.m sub);
+  Alcotest.(check (array int)) "id mapping" [| 0; 2 |] mapping;
+  Alcotest.(check bool) "edge kept" true
+    (let e = Graph.edge g 0 in
+     Graph.is_adjacent sub e.Graph.u e.Graph.v)
+
+let test_equal () =
+  let a = Graph.make ~n:3 [ (0, 1); (1, 2) ] in
+  let b = Graph.make ~n:3 [ (2, 1); (1, 0) ] in
+  let c = Graph.make ~n:3 [ (0, 1); (0, 2) ] in
+  Alcotest.(check bool) "equal up to orientation/order" true (Graph.equal a b);
+  Alcotest.(check bool) "different edges" false (Graph.equal a c)
+
+(* Generators *)
+
+let check_summary name g ~n ~m ~connected ~bipartite =
+  let s = Props.summary g in
+  Alcotest.(check int) (name ^ " n") n s.Props.n;
+  Alcotest.(check int) (name ^ " m") m s.Props.m;
+  Alcotest.(check bool) (name ^ " connected") connected s.Props.connected;
+  Alcotest.(check bool) (name ^ " bipartite") bipartite s.Props.bipartite
+
+let test_deterministic_generators () =
+  check_summary "path" (Gen.path 6) ~n:6 ~m:5 ~connected:true ~bipartite:true;
+  check_summary "cycle even" (Gen.cycle 6) ~n:6 ~m:6 ~connected:true ~bipartite:true;
+  check_summary "cycle odd" (Gen.cycle 5) ~n:5 ~m:5 ~connected:true ~bipartite:false;
+  check_summary "star" (Gen.star 7) ~n:7 ~m:6 ~connected:true ~bipartite:true;
+  check_summary "complete" (Gen.complete 5) ~n:5 ~m:10 ~connected:true ~bipartite:false;
+  check_summary "K23" (Gen.complete_bipartite 2 3) ~n:5 ~m:6 ~connected:true
+    ~bipartite:true;
+  check_summary "grid" (Gen.grid 3 4) ~n:12 ~m:17 ~connected:true ~bipartite:true;
+  check_summary "hypercube" (Gen.hypercube 3) ~n:8 ~m:12 ~connected:true ~bipartite:true;
+  check_summary "binary tree" (Gen.binary_tree 3) ~n:15 ~m:14 ~connected:true
+    ~bipartite:true
+
+let test_generator_validation () =
+  Alcotest.check_raises "path 1" (Invalid_argument "Gen.path: need n >= 2") (fun () ->
+      ignore (Gen.path 1));
+  Alcotest.check_raises "cycle 2" (Invalid_argument "Gen.cycle: need n >= 3") (fun () ->
+      ignore (Gen.cycle 2));
+  Alcotest.check_raises "regular odd"
+    (Invalid_argument "Gen.random_regular: n * d must be even") (fun () ->
+      ignore (Gen.random_regular (rng ()) ~n:5 ~d:3))
+
+let test_random_tree () =
+  let r = rng () in
+  for n = 2 to 20 do
+    let t = Gen.random_tree r ~n in
+    Alcotest.(check int) "tree edges" (n - 1) (Graph.m t);
+    Alcotest.(check bool) "tree connected" true (Traverse.is_connected t)
+  done
+
+let test_gnp_connected () =
+  let r = rng () in
+  for _ = 1 to 10 do
+    let g = Gen.gnp_connected r ~n:30 ~p:0.05 in
+    Alcotest.(check bool) "connected" true (Traverse.is_connected g);
+    Alcotest.(check bool) "no isolated" false (Graph.has_isolated_vertex g)
+  done
+
+let test_random_bipartite () =
+  let r = rng () in
+  for _ = 1 to 10 do
+    let g = Gen.random_bipartite r ~a:8 ~b:12 ~p:0.1 in
+    Alcotest.(check bool) "bipartite" true (Bipartite.is_bipartite g);
+    Alcotest.(check bool) "connected" true (Traverse.is_connected g)
+  done
+
+let test_random_regular () =
+  let r = rng () in
+  let g = Gen.random_regular r ~n:20 ~d:4 in
+  Graph.iter_vertices g ~f:(fun v ->
+      Alcotest.(check int) "regular degree" 4 (Graph.degree g v))
+
+let test_enterprise () =
+  let r = rng () in
+  let g = Gen.enterprise r ~core:5 ~leaves:20 ~uplinks:2 in
+  Alcotest.(check int) "n" 25 (Graph.n g);
+  Alcotest.(check int) "m" ((5 * 4 / 2) + (20 * 2)) (Graph.m g);
+  Alcotest.(check bool) "connected" true (Traverse.is_connected g);
+  for leaf = 5 to 24 do
+    Alcotest.(check int) "leaf degree" 2 (Graph.degree g leaf)
+  done
+
+(* Traversal *)
+
+let test_bfs_dfs () =
+  let g = Gen.path 5 in
+  Alcotest.(check (list int)) "bfs from 0" [ 0; 1; 2; 3; 4 ] (Traverse.bfs_order g 0);
+  Alcotest.(check (list int)) "dfs from 0" [ 0; 1; 2; 3; 4 ] (Traverse.dfs_order g 0);
+  Alcotest.(check (list int)) "bfs from middle" [ 2; 1; 3; 0; 4 ]
+    (Traverse.bfs_order g 2)
+
+let test_distances () =
+  let g = Gen.cycle 6 in
+  Alcotest.(check (array int)) "cycle distances" [| 0; 1; 2; 3; 2; 1 |]
+    (Traverse.distances g 0);
+  let disconnected = Graph.make ~n:4 [ (0, 1); (2, 3) ] in
+  let d = Traverse.distances disconnected 0 in
+  Alcotest.(check int) "unreachable" (-1) d.(2)
+
+let test_components () =
+  let g = Graph.make ~n:6 [ (0, 1); (1, 2); (4, 5) ] in
+  Alcotest.(check (list (list int))) "components" [ [ 0; 1; 2 ]; [ 3 ]; [ 4; 5 ] ]
+    (Traverse.components g);
+  Alcotest.(check bool) "not connected" false (Traverse.is_connected g);
+  Alcotest.(check bool) "path connected" true (Traverse.is_connected (Gen.path 3))
+
+let test_shortest_path () =
+  let g = Gen.cycle 6 in
+  (match Traverse.shortest_path g 0 3 with
+  | Some p ->
+      Alcotest.(check int) "path length" 4 (List.length p);
+      Alcotest.(check int) "starts" 0 (List.hd p);
+      Alcotest.(check int) "ends" 3 (List.nth p 3)
+  | None -> Alcotest.fail "expected path");
+  let disconnected = Graph.make ~n:4 [ (0, 1); (2, 3) ] in
+  Alcotest.(check bool) "no path" true (Traverse.shortest_path disconnected 0 3 = None)
+
+(* Bipartite *)
+
+let test_bipartite_coloring () =
+  match Bipartite.coloring (Gen.path 4) with
+  | None -> Alcotest.fail "path should be bipartite"
+  | Some c ->
+      Alcotest.(check (list int)) "side A" [ 0; 2 ] c.Bipartite.side_a;
+      Alcotest.(check (list int)) "side B" [ 1; 3 ] c.Bipartite.side_b;
+      Graph.iter_edges (Gen.path 4) ~f:(fun _ e ->
+          Alcotest.(check bool) "proper coloring" true
+            (c.Bipartite.color.(e.Graph.u) <> c.Bipartite.color.(e.Graph.v)))
+
+let test_odd_cycle () =
+  (match Bipartite.odd_cycle (Gen.cycle 5) with
+  | None -> Alcotest.fail "C5 has an odd cycle"
+  | Some cycle ->
+      Alcotest.(check bool) "closed" true (List.hd cycle = List.nth cycle (List.length cycle - 1));
+      Alcotest.(check bool) "odd length" true ((List.length cycle - 1) mod 2 = 1));
+  Alcotest.(check bool) "bipartite has none" true
+    (Bipartite.odd_cycle (Gen.grid 2 3) = None)
+
+let test_odd_cycle_is_real_cycle () =
+  match Bipartite.odd_cycle (Gen.complete 4) with
+  | None -> Alcotest.fail "K4 has an odd cycle"
+  | Some cycle ->
+      let g = Gen.complete 4 in
+      let rec consecutive = function
+        | a :: b :: rest ->
+            Alcotest.(check bool) "consecutive adjacent" true (Graph.is_adjacent g a b);
+            consecutive (b :: rest)
+        | _ -> ()
+      in
+      consecutive cycle
+
+(* Props *)
+
+let test_props () =
+  let g = Gen.star 5 in
+  let s = Props.summary g in
+  Alcotest.(check int) "min degree" 1 s.Props.min_degree;
+  Alcotest.(check int) "max degree" 4 s.Props.max_degree;
+  Alcotest.(check (float 1e-9)) "mean degree" 1.6 s.Props.mean_degree;
+  Alcotest.(check (list int)) "degree sequence" [ 4; 1; 1; 1; 1 ]
+    (Props.degree_sequence g);
+  Alcotest.(check bool) "valid instance" true (Props.is_valid_instance g);
+  Alcotest.(check bool) "isolated invalid" false
+    (Props.is_valid_instance (Graph.make ~n:3 [ (0, 1) ]));
+  Alcotest.(check (float 1e-9)) "density of K4" 1.0 (Props.density (Gen.complete 4))
+
+(* Serialization *)
+
+let test_edge_list_roundtrip () =
+  let g = Gen.grid 3 3 in
+  let text = Edge_list.to_string g in
+  let g' = Edge_list.of_string text in
+  Alcotest.(check bool) "roundtrip" true (Graph.equal g g')
+
+let test_edge_list_parsing () =
+  let g = Edge_list.of_string "# comment\n3\n0 1\n\n1 2\n" in
+  Alcotest.(check int) "n" 3 (Graph.n g);
+  Alcotest.(check int) "m" 2 (Graph.m g);
+  Alcotest.check_raises "empty" (Invalid_argument "Edge_list.of_string: empty input")
+    (fun () -> ignore (Edge_list.of_string "# only comments\n"));
+  Alcotest.check_raises "bad header"
+    (Invalid_argument "Edge_list.of_string: bad vertex-count header") (fun () ->
+      ignore (Edge_list.of_string "abc\n0 1\n"))
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+  scan 0
+
+let test_dot_output () =
+  let g = Gen.path 3 in
+  let dot = Dot.to_string ~highlight_vertices:[ 1 ] ~highlight_edges:[ 0 ] g in
+  Alcotest.(check bool) "mentions graph" true
+    (String.length dot > 0 && String.sub dot 0 5 = "graph");
+  Alcotest.(check bool) "highlights vertex" true (contains dot "indianred");
+  Alcotest.(check bool) "highlights edge" true (contains dot "penwidth");
+  Alcotest.(check bool) "lists edges" true (contains dot "0 -- 1")
+
+(* Property tests *)
+
+let graph_gen =
+  QCheck.make
+    (QCheck.Gen.map
+       (fun seed ->
+         let r = Prng.Rng.create seed in
+         Gen.gnp_connected r ~n:(2 + Prng.Rng.int r 18) ~p:0.2)
+       QCheck.Gen.int)
+
+let props =
+  [
+    QCheck.Test.make ~name:"handshake lemma on random graphs" ~count:100 graph_gen
+      (fun g ->
+        Graph.fold_vertices g ~init:0 ~f:(fun a v -> a + Graph.degree g v)
+        = 2 * Graph.m g);
+    QCheck.Test.make ~name:"neighbors symmetric" ~count:100 graph_gen (fun g ->
+        Graph.fold_edges g ~init:true ~f:(fun acc _ e ->
+            acc
+            && Array.mem e.Graph.v (Graph.neighbors g e.Graph.u)
+            && Array.mem e.Graph.u (Graph.neighbors g e.Graph.v)));
+    QCheck.Test.make ~name:"edge-list roundtrip preserves graph" ~count:50 graph_gen
+      (fun g -> Graph.equal g (Edge_list.of_string (Edge_list.to_string g)));
+    QCheck.Test.make ~name:"BFS visits the whole connected graph" ~count:50 graph_gen
+      (fun g -> List.length (Traverse.bfs_order g 0) = Graph.n g);
+    QCheck.Test.make ~name:"distances satisfy edge Lipschitz" ~count:50 graph_gen
+      (fun g ->
+        let d = Traverse.distances g 0 in
+        Graph.fold_edges g ~init:true ~f:(fun acc _ e ->
+            acc && abs (d.(e.Graph.u) - d.(e.Graph.v)) <= 1));
+  ]
+
+let () =
+  Alcotest.run "graph"
+    [
+      ( "core",
+        [
+          Alcotest.test_case "make validation" `Quick test_make_validation;
+          Alcotest.test_case "accessors" `Quick test_basic_accessors;
+          Alcotest.test_case "folds" `Quick test_folds;
+          Alcotest.test_case "isolated" `Quick test_isolated;
+          Alcotest.test_case "neighborhood" `Quick test_neighborhood;
+          Alcotest.test_case "edge subgraph" `Quick test_edge_subgraph;
+          Alcotest.test_case "equality" `Quick test_equal;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "deterministic families" `Quick test_deterministic_generators;
+          Alcotest.test_case "validation" `Quick test_generator_validation;
+          Alcotest.test_case "random tree" `Quick test_random_tree;
+          Alcotest.test_case "gnp connected" `Quick test_gnp_connected;
+          Alcotest.test_case "random bipartite" `Quick test_random_bipartite;
+          Alcotest.test_case "random regular" `Quick test_random_regular;
+          Alcotest.test_case "enterprise" `Quick test_enterprise;
+        ] );
+      ( "traversal",
+        [
+          Alcotest.test_case "bfs/dfs" `Quick test_bfs_dfs;
+          Alcotest.test_case "distances" `Quick test_distances;
+          Alcotest.test_case "components" `Quick test_components;
+          Alcotest.test_case "shortest path" `Quick test_shortest_path;
+        ] );
+      ( "bipartite",
+        [
+          Alcotest.test_case "coloring" `Quick test_bipartite_coloring;
+          Alcotest.test_case "odd cycle" `Quick test_odd_cycle;
+          Alcotest.test_case "odd cycle validity" `Quick test_odd_cycle_is_real_cycle;
+        ] );
+      ("props", [ Alcotest.test_case "summary" `Quick test_props ]);
+      ( "io",
+        [
+          Alcotest.test_case "edge list roundtrip" `Quick test_edge_list_roundtrip;
+          Alcotest.test_case "edge list parsing" `Quick test_edge_list_parsing;
+          Alcotest.test_case "dot output" `Quick test_dot_output;
+        ] );
+      ("properties", List.map (QCheck_alcotest.to_alcotest ~verbose:false) props);
+    ]

@@ -1,0 +1,143 @@
+(* Tests for the experiment harness: tables, statistics, timing. *)
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+  scan 0
+
+(* --- Table --- *)
+
+let test_table_rendering () =
+  let t = Harness.Table.create ~title:"demo" ~columns:[ "name"; "value" ] in
+  Harness.Table.add_row t [ "alpha"; "1" ];
+  Harness.Table.add_row t [ "beta-long-cell"; "22" ];
+  let s = Harness.Table.to_string t in
+  Alcotest.(check bool) "has title" true (contains s "== demo ==");
+  Alcotest.(check bool) "has header" true (contains s "name");
+  Alcotest.(check bool) "has rows" true (contains s "beta-long-cell");
+  (* alignment: every rendered line reaches the widest cell *)
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  Alcotest.(check bool) "several lines" true (List.length lines >= 4)
+
+let test_table_row_padding () =
+  let t = Harness.Table.create ~title:"pad" ~columns:[ "a"; "b"; "c" ] in
+  Harness.Table.add_row t [ "only-one" ];
+  Harness.Table.add_row t [ "x"; "y"; "z"; "overflow-dropped" ];
+  let s = Harness.Table.to_string t in
+  Alcotest.(check bool) "short row padded" true (contains s "only-one");
+  Alcotest.(check bool) "overflow dropped" false (contains s "overflow-dropped")
+
+let test_table_csv () =
+  let t = Harness.Table.create ~title:"csv" ~columns:[ "a"; "b" ] in
+  Harness.Table.add_row t [ "plain"; "1,5" ];
+  Harness.Table.add_row t [ "quote\"inside"; "x" ];
+  let csv = Harness.Table.to_csv t in
+  let lines = String.split_on_char '\n' csv |> List.filter (fun l -> l <> "") in
+  Alcotest.(check int) "header + 2 rows" 3 (List.length lines);
+  Alcotest.(check string) "header" "a,b" (List.hd lines);
+  Alcotest.(check bool) "comma cell quoted" true (contains csv "\"1,5\"");
+  Alcotest.(check bool) "quote escaped" true (contains csv "\"quote\"\"inside\"")
+
+let test_series_rendering () =
+  let s =
+    Harness.Table.series ~title:"fig" ~x_label:"k" ~y_label:"gain"
+      [ (1.0, 2.0); (2.0, 4.0); (3.0, 6.0) ]
+  in
+  Alcotest.(check bool) "title" true (contains s "== fig ==");
+  Alcotest.(check bool) "labels" true (contains s "y: gain");
+  Alcotest.(check bool) "data points" true (contains s "(2, 4)")
+
+let test_multi_series () =
+  let s =
+    Harness.Table.multi_series ~title:"multi" ~x_label:"x" ~y_label:"y"
+      [ ("up", [ (0.0, 0.0); (1.0, 1.0) ]); ("down", [ (0.0, 1.0); (1.0, 0.0) ]) ]
+  in
+  Alcotest.(check bool) "first series named" true (contains s "up");
+  Alcotest.(check bool) "second series named" true (contains s "down");
+  Alcotest.(check bool) "distinct markers" true
+    (contains s "series '*'" && contains s "series 'o'")
+
+let test_series_empty () =
+  let s = Harness.Table.multi_series ~title:"empty" ~x_label:"x" ~y_label:"y" [] in
+  Alcotest.(check bool) "handles no data" true (contains s "(no data)")
+
+(* --- Stats --- *)
+
+let test_mean_stddev () =
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Harness.Stats.mean [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "stddev of constant" 0.0
+    (Harness.Stats.stddev [ 5.0; 5.0; 5.0 ]);
+  Alcotest.(check (float 1e-9)) "stddev" (sqrt (2.0 /. 3.0))
+    (Harness.Stats.stddev [ 1.0; 2.0; 3.0 ]);
+  Alcotest.check_raises "mean of []" (Invalid_argument "Stats.mean: empty list")
+    (fun () -> ignore (Harness.Stats.mean []))
+
+let test_linear_fit_exact () =
+  let fit = Harness.Stats.linear_fit [ (1.0, 3.0); (2.0, 5.0); (3.0, 7.0) ] in
+  Alcotest.(check (float 1e-9)) "slope" 2.0 fit.Harness.Stats.slope;
+  Alcotest.(check (float 1e-9)) "intercept" 1.0 fit.Harness.Stats.intercept;
+  Alcotest.(check (float 1e-9)) "r2" 1.0 fit.Harness.Stats.r_squared;
+  Alcotest.(check bool) "is_linear" true
+    (Harness.Stats.is_linear [ (1.0, 3.0); (2.0, 5.0); (3.0, 7.0) ])
+
+let test_linear_fit_noisy () =
+  let points = [ (1.0, 1.0); (2.0, 1.9); (3.0, 3.2); (4.0, 3.9) ] in
+  let fit = Harness.Stats.linear_fit points in
+  Alcotest.(check bool) "slope near 1" true (abs_float (fit.Harness.Stats.slope -. 1.0) < 0.1);
+  Alcotest.(check bool) "r2 high but not 1" true
+    (fit.Harness.Stats.r_squared > 0.9 && fit.Harness.Stats.r_squared < 1.0);
+  Alcotest.(check bool) "not exactly linear" false (Harness.Stats.is_linear points)
+
+let test_linear_fit_guards () =
+  Alcotest.check_raises "single point"
+    (Invalid_argument "Stats.linear_fit: need at least two points") (fun () ->
+      ignore (Harness.Stats.linear_fit [ (1.0, 1.0) ]));
+  Alcotest.check_raises "vertical line"
+    (Invalid_argument "Stats.linear_fit: x values are all equal") (fun () ->
+      ignore (Harness.Stats.linear_fit [ (1.0, 1.0); (1.0, 2.0) ]))
+
+let test_power_law () =
+  (* y = 3 x^2 *)
+  let points = List.init 5 (fun i ->
+      let x = float_of_int (i + 1) in
+      (x, 3.0 *. (x ** 2.0)))
+  in
+  Alcotest.(check (float 1e-6)) "exponent 2" 2.0 (Harness.Stats.power_law_exponent points);
+  Alcotest.check_raises "non-positive data"
+    (Invalid_argument "Stats.power_law_exponent: non-positive data") (fun () ->
+      ignore (Harness.Stats.power_law_exponent [ (0.0, 1.0); (1.0, 2.0) ]))
+
+(* --- Timer --- *)
+
+let test_timer () =
+  let result, elapsed = Harness.Timer.time (fun () -> 21 * 2) in
+  Alcotest.(check int) "result passed through" 42 result;
+  Alcotest.(check bool) "non-negative time" true (elapsed >= 0.0);
+  let med = Harness.Timer.time_median ~repeat:3 (fun () -> ignore (Sys.opaque_identity 1)) in
+  Alcotest.(check bool) "median non-negative" true (med >= 0.0);
+  Alcotest.check_raises "repeat 0"
+    (Invalid_argument "Timer.time_median: repeat must be positive") (fun () ->
+      ignore (Harness.Timer.time_median ~repeat:0 (fun () -> ())))
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "table",
+        [
+          Alcotest.test_case "rendering" `Quick test_table_rendering;
+          Alcotest.test_case "row padding" `Quick test_table_row_padding;
+          Alcotest.test_case "csv export" `Quick test_table_csv;
+          Alcotest.test_case "series" `Quick test_series_rendering;
+          Alcotest.test_case "multi series" `Quick test_multi_series;
+          Alcotest.test_case "empty series" `Quick test_series_empty;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean/stddev" `Quick test_mean_stddev;
+          Alcotest.test_case "linear fit exact" `Quick test_linear_fit_exact;
+          Alcotest.test_case "linear fit noisy" `Quick test_linear_fit_noisy;
+          Alcotest.test_case "linear fit guards" `Quick test_linear_fit_guards;
+          Alcotest.test_case "power law" `Quick test_power_law;
+        ] );
+      ("timer", [ Alcotest.test_case "timing" `Quick test_timer ]);
+    ]

@@ -1,0 +1,193 @@
+(* Tests for graph6 serialization and the weighted-attacker extension. *)
+
+open Netgraph
+module Q = Exact.Q
+
+let q = Alcotest.testable Q.pp Q.equal
+
+let ok = function
+  | Ok x -> x
+  | Error e -> Alcotest.fail ("unexpected error: " ^ e)
+
+(* --- graph6 --- *)
+
+let test_graph6_known_vectors () =
+  (* K2 is "A_", the empty 2-vertex graph is "A?" (nauty documentation). *)
+  Alcotest.(check string) "K2" "A_" (Graph6.encode (Gen.path 2));
+  Alcotest.(check string) "empty pair" "A?" (Graph6.encode (Graph.make ~n:2 []));
+  Alcotest.(check bool) "decode K2" true
+    (Graph.equal (Graph6.decode "A_") (Gen.path 2));
+  (* decoding tolerates a trailing newline *)
+  Alcotest.(check bool) "newline tolerated" true
+    (Graph.equal (Graph6.decode "A_\n") (Gen.path 2))
+
+let test_graph6_roundtrip_families () =
+  List.iter
+    (fun (name, g) ->
+      Alcotest.(check bool) (name ^ " roundtrip") true
+        (Graph.equal g (Graph6.decode (Graph6.encode g))))
+    (Gen.atlas_small ())
+
+let test_graph6_large_n_form () =
+  (* n = 100 > 62 exercises the 3-byte size header. *)
+  let g = Gen.cycle 100 in
+  let encoded = Graph6.encode g in
+  Alcotest.(check int) "marker 126" 126 (Char.code encoded.[0]);
+  Alcotest.(check bool) "roundtrip" true (Graph.equal g (Graph6.decode encoded))
+
+let test_graph6_rejects_malformed () =
+  Alcotest.check_raises "empty" (Invalid_argument "Graph6.decode: empty input")
+    (fun () -> ignore (Graph6.decode ""));
+  Alcotest.check_raises "truncated"
+    (Invalid_argument "Graph6.decode: truncated adjacency data") (fun () ->
+      ignore (Graph6.decode "D"));
+  Alcotest.check_raises "bad char" (Invalid_argument "Graph6.decode: invalid character")
+    (fun () -> ignore (Graph6.decode "A\x01"))
+
+let graph6_props =
+  let gen =
+    QCheck.make
+      (QCheck.Gen.map
+         (fun seed ->
+           let r = Prng.Rng.create seed in
+           Gen.gnp r ~n:(1 + Prng.Rng.int r 30) ~p:0.3)
+         QCheck.Gen.int)
+  in
+  [
+    QCheck.Test.make ~name:"graph6 roundtrip on random graphs" ~count:100 gen (fun g ->
+        Graph.equal g (Graph6.decode (Graph6.encode g)));
+    QCheck.Test.make ~name:"graph6 output is printable ASCII" ~count:100 gen (fun g ->
+        String.for_all (fun c -> Char.code c >= 63 && Char.code c <= 126)
+          (Graph6.encode g));
+  ]
+
+(* --- weighted attackers --- *)
+
+let weighted_setup () =
+  let g = Gen.path 6 in
+  let m = Defender.Model.make ~graph:g ~nu:3 ~k:2 in
+  let w = Defender.Weighted.make m ~weights:[ Q.of_int 5; Q.one; Q.make 1 2 ] in
+  (g, m, w)
+
+let test_weighted_validation () =
+  let _, m, _ = weighted_setup () in
+  Alcotest.check_raises "arity" (Invalid_argument "Weighted.make: need exactly nu weights")
+    (fun () -> ignore (Defender.Weighted.make m ~weights:[ Q.one ]));
+  Alcotest.check_raises "positivity"
+    (Invalid_argument "Weighted.make: weights must be positive") (fun () ->
+      ignore (Defender.Weighted.make m ~weights:[ Q.one; Q.zero; Q.one ]))
+
+let test_weighted_loads () =
+  let _, m, w = weighted_setup () in
+  Alcotest.check q "total weight" (Q.make 13 2) (Defender.Weighted.total_weight w);
+  (* all three attackers as point masses on distinct vertices *)
+  let prof =
+    Defender.Profile.make_mixed m
+      ~vp:[ Dist.Finite.point 1; Dist.Finite.point 3; Dist.Finite.point 5 ]
+      ~tp:[ (Defender.Tuple.of_list (Defender.Model.graph m) [ 0; 2 ], Q.one) ]
+  in
+  Alcotest.check q "load at 1 = w0" (Q.of_int 5) (Defender.Weighted.expected_load w prof 1);
+  Alcotest.check q "load at 3 = w1" Q.one (Defender.Weighted.expected_load w prof 3);
+  Alcotest.check q "load at 0 = 0" Q.zero (Defender.Weighted.expected_load w prof 0);
+  (* tuple {e0,e2} covers vertices 0..3: arrested damage 5 + 1 = 6 *)
+  Alcotest.check q "arrested damage" (Q.of_int 6) (Defender.Weighted.expected_tp w prof);
+  (* attacker 2 escapes with its full half-point of damage *)
+  Alcotest.check q "escaped damage" (Q.make 1 2) (Defender.Weighted.expected_vp w prof 2)
+
+let test_weighted_k_matching_is_ne () =
+  let g, m, w = weighted_setup () in
+  let partition = Option.get (Defender.Matching_nash.find_partition g) in
+  let prof = ok (Defender.Weighted.a_tuple w partition) in
+  Alcotest.(check bool) "weighted NE verified" true
+    (Defender.Verify.verdict_is_confirmed (Defender.Weighted.verify_ne w prof));
+  (* gain law generalizes: k*W/|IS| = 2 * (13/2) / 3 = 13/3 *)
+  let is_size = List.length partition.Defender.Matching_nash.is in
+  Alcotest.check q "weighted gain law"
+    (Defender.Weighted.predicted_gain w ~is_size)
+    (Defender.Weighted.expected_tp w prof);
+  Alcotest.check q "explicit value" (Q.make 13 3) (Defender.Weighted.expected_tp w prof);
+  ignore m
+
+let test_weighted_detects_bad_defense () =
+  let g, m, w = weighted_setup () in
+  (* Defender ignores the heavy attacker's whereabouts: put all attackers
+     on vertex 1 but scan only the far end. *)
+  let prof =
+    Defender.Profile.make_mixed m
+      ~vp:[ Dist.Finite.point 1; Dist.Finite.point 1; Dist.Finite.point 1 ]
+      ~tp:[ (Defender.Tuple.of_list g [ 3; 4 ], Q.one) ]
+  in
+  match Defender.Weighted.verify_ne w prof with
+  | Defender.Verify.Refuted _ -> ()
+  | v ->
+      Alcotest.fail
+        ("expected weighted refutation: " ^ Defender.Verify.verdict_to_string v)
+
+let test_weighted_reduces_to_unweighted () =
+  (* Unit weights recover the ordinary profit. *)
+  let g = Gen.grid 2 3 in
+  let m = Defender.Model.make ~graph:g ~nu:4 ~k:2 in
+  let w = Defender.Weighted.make m ~weights:(List.init 4 (fun _ -> Q.one)) in
+  let prof = ok (Defender.Tuple_nash.a_tuple_auto m) in
+  Alcotest.check q "weighted = unweighted at unit weights"
+    (Defender.Profit.expected_tp prof)
+    (Defender.Weighted.expected_tp w prof);
+  Alcotest.(check bool) "verified" true
+    (Defender.Verify.verdict_is_confirmed (Defender.Weighted.verify_ne w prof))
+
+let weighted_props =
+  let setup_gen =
+    QCheck.make
+      (QCheck.Gen.map
+         (fun seed ->
+           let r = Prng.Rng.create seed in
+           let g = Gen.random_bipartite r ~a:3 ~b:4 ~p:0.3 in
+           let nu = 1 + Prng.Rng.int r 4 in
+           let feasible = Defender.Pipeline.max_feasible_k g in
+           let k = 1 + Prng.Rng.int r (max 1 feasible) in
+           let m = Defender.Model.make ~graph:g ~nu ~k in
+           let weights = List.init nu (fun _ -> Q.make (1 + Prng.Rng.int r 9) (1 + Prng.Rng.int r 4)) in
+           (m, Defender.Weighted.make m ~weights))
+         QCheck.Gen.int)
+  in
+  [
+    QCheck.Test.make ~name:"k-matching NE robust to arbitrary weights" ~count:40
+      setup_gen (fun (m, w) ->
+        match Defender.Tuple_nash.a_tuple_auto m with
+        | Error _ -> QCheck.assume_fail ()
+        | Ok prof ->
+            Defender.Verify.verdict_is_confirmed (Defender.Weighted.verify_ne w prof));
+    QCheck.Test.make ~name:"weighted gain law k*W/|IS|" ~count:40 setup_gen
+      (fun (m, w) ->
+        match Defender.Tuple_nash.a_tuple_auto m with
+        | Error _ -> QCheck.assume_fail ()
+        | Ok prof ->
+            let is_size = List.length (Defender.Profile.vp_support_union prof) in
+            Q.equal
+              (Defender.Weighted.predicted_gain w ~is_size)
+              (Defender.Weighted.expected_tp w prof));
+  ]
+
+let () =
+  Alcotest.run "io-weighted"
+    [
+      ( "graph6",
+        [
+          Alcotest.test_case "known vectors" `Quick test_graph6_known_vectors;
+          Alcotest.test_case "atlas roundtrip" `Quick test_graph6_roundtrip_families;
+          Alcotest.test_case "large-n form" `Quick test_graph6_large_n_form;
+          Alcotest.test_case "rejects malformed" `Quick test_graph6_rejects_malformed;
+        ] );
+      ( "weighted",
+        [
+          Alcotest.test_case "validation" `Quick test_weighted_validation;
+          Alcotest.test_case "loads and profits" `Quick test_weighted_loads;
+          Alcotest.test_case "k-matching NE for any weights" `Quick
+            test_weighted_k_matching_is_ne;
+          Alcotest.test_case "detects bad defense" `Quick test_weighted_detects_bad_defense;
+          Alcotest.test_case "unit weights reduce" `Quick test_weighted_reduces_to_unweighted;
+        ] );
+      ( "properties",
+        List.map (QCheck_alcotest.to_alcotest ~verbose:false)
+          (graph6_props @ weighted_props) );
+    ]

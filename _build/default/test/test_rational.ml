@@ -1,0 +1,132 @@
+(* Unit and property tests for the exact rational substrate. *)
+
+module Q = Exact.Q
+
+let q = Alcotest.testable Q.pp Q.equal
+
+let check_q = Alcotest.check q
+
+let test_normalization () =
+  check_q "6/8 = 3/4" (Q.make 3 4) (Q.make 6 8);
+  check_q "-6/8 = -3/4" (Q.make (-3) 4) (Q.make 6 (-8));
+  check_q "0/5 = 0" Q.zero (Q.make 0 5);
+  Alcotest.(check int) "den of -2/-4" 2 (Q.den (Q.make (-2) (-4)));
+  Alcotest.(check int) "num of -2/-4" 1 (Q.num (Q.make (-2) (-4)));
+  Alcotest.(check int) "den always positive" 3 (Q.den (Q.make 5 (-3)) * -1 * -1)
+
+let test_zero_denominator () =
+  Alcotest.check_raises "make x/0" Q.Division_by_zero (fun () ->
+      ignore (Q.make 1 0));
+  Alcotest.check_raises "div by zero" Q.Division_by_zero (fun () ->
+      ignore (Q.div Q.one Q.zero));
+  Alcotest.check_raises "inv zero" Q.Division_by_zero (fun () ->
+      ignore (Q.inv Q.zero))
+
+let test_arithmetic () =
+  check_q "1/2 + 1/3" (Q.make 5 6) (Q.add (Q.make 1 2) (Q.make 1 3));
+  check_q "1/2 - 1/3" (Q.make 1 6) (Q.sub (Q.make 1 2) (Q.make 1 3));
+  check_q "2/3 * 3/4" (Q.make 1 2) (Q.mul (Q.make 2 3) (Q.make 3 4));
+  check_q "(1/2) / (3/4)" (Q.make 2 3) (Q.div (Q.make 1 2) (Q.make 3 4));
+  check_q "neg" (Q.make (-1) 2) (Q.neg (Q.make 1 2));
+  check_q "inv -2/3" (Q.make (-3) 2) (Q.inv (Q.make (-2) 3));
+  check_q "mul_int" (Q.make 3 2) (Q.mul_int (Q.make 1 2) 3);
+  check_q "div_int" (Q.make 1 6) (Q.div_int (Q.make 1 2) 3);
+  check_q "abs" (Q.make 1 2) (Q.abs (Q.make (-1) 2))
+
+let test_comparisons () =
+  Alcotest.(check bool) "1/3 < 1/2" true Q.(make 1 3 < make 1 2);
+  Alcotest.(check bool) "1/2 <= 1/2" true Q.(make 1 2 <= make 2 4);
+  Alcotest.(check bool) "2/3 > 1/2" true Q.(make 2 3 > make 1 2);
+  Alcotest.(check int) "sign neg" (-1) (Q.sign (Q.make (-3) 7));
+  Alcotest.(check int) "sign zero" 0 (Q.sign Q.zero);
+  check_q "min" (Q.make 1 3) (Q.min (Q.make 1 3) (Q.make 1 2));
+  check_q "max" (Q.make 1 2) (Q.max (Q.make 1 3) (Q.make 1 2))
+
+let test_aggregates () =
+  check_q "sum" Q.one (Q.sum [ Q.make 1 2; Q.make 1 3; Q.make 1 6 ]);
+  check_q "sum empty" Q.zero (Q.sum []);
+  check_q "average" (Q.make 1 2) (Q.average [ Q.make 1 4; Q.make 3 4 ]);
+  check_q "min_list" (Q.make 1 4) (Q.min_list [ Q.make 1 2; Q.make 1 4; Q.one ]);
+  check_q "max_list" Q.one (Q.max_list [ Q.make 1 2; Q.make 1 4; Q.one ]);
+  Alcotest.check_raises "average of []" (Invalid_argument "Q.average: empty list")
+    (fun () -> ignore (Q.average []))
+
+let test_conversions () =
+  Alcotest.(check string) "to_string fraction" "5/6" (Q.to_string (Q.make 5 6));
+  Alcotest.(check string) "to_string integer" "7" (Q.to_string (Q.make 14 2));
+  Alcotest.(check bool) "is_integer" true (Q.is_integer (Q.make 14 2));
+  Alcotest.(check bool) "not is_integer" false (Q.is_integer (Q.make 1 2));
+  Alcotest.(check int) "to_int_exn" 7 (Q.to_int_exn (Q.make 14 2));
+  Alcotest.(check (float 1e-12)) "to_float" 0.5 (Q.to_float (Q.make 1 2));
+  Alcotest.(check bool) "is_zero" true (Q.is_zero (Q.sub Q.one Q.one))
+
+let test_overflow () =
+  let big = Q.of_int max_int in
+  Alcotest.check_raises "add overflow" Q.Overflow (fun () ->
+      ignore (Q.add big Q.one));
+  Alcotest.check_raises "mul overflow" Q.Overflow (fun () ->
+      ignore (Q.mul big (Q.of_int 2)));
+  (* Knuth-reduced operations that fit must not raise. *)
+  check_q "large but reducible" (Q.of_int max_int)
+    (Q.mul (Q.make max_int 3) (Q.of_int 3))
+
+(* Property tests: the rationals form an ordered field. *)
+let small_q =
+  QCheck.map
+    (fun (n, d) -> Q.make n (1 + abs d))
+    QCheck.(pair (int_range (-1000) 1000) (int_range 0 1000))
+
+let props =
+  [
+    QCheck.Test.make ~name:"add commutative" ~count:500
+      QCheck.(pair small_q small_q)
+      (fun (a, b) -> Q.equal (Q.add a b) (Q.add b a));
+    QCheck.Test.make ~name:"add associative" ~count:500
+      QCheck.(triple small_q small_q small_q)
+      (fun (a, b, c) -> Q.equal (Q.add (Q.add a b) c) (Q.add a (Q.add b c)));
+    QCheck.Test.make ~name:"mul commutative" ~count:500
+      QCheck.(pair small_q small_q)
+      (fun (a, b) -> Q.equal (Q.mul a b) (Q.mul b a));
+    QCheck.Test.make ~name:"mul distributes over add" ~count:500
+      QCheck.(triple small_q small_q small_q)
+      (fun (a, b, c) ->
+        Q.equal (Q.mul a (Q.add b c)) (Q.add (Q.mul a b) (Q.mul a c)));
+    QCheck.Test.make ~name:"additive inverse" ~count:500 small_q (fun a ->
+        Q.is_zero (Q.add a (Q.neg a)));
+    QCheck.Test.make ~name:"multiplicative inverse" ~count:500 small_q (fun a ->
+        Q.is_zero a || Q.equal Q.one (Q.mul a (Q.inv a)));
+    QCheck.Test.make ~name:"sub then add roundtrips" ~count:500
+      QCheck.(pair small_q small_q)
+      (fun (a, b) -> Q.equal a (Q.add (Q.sub a b) b));
+    QCheck.Test.make ~name:"normalized invariant" ~count:500 small_q (fun a ->
+        let rec gcd x y = if y = 0 then x else gcd y (x mod y) in
+        Q.den a > 0 && (Q.is_zero a || gcd (abs (Q.num a)) (Q.den a) = 1));
+    QCheck.Test.make ~name:"compare agrees with float compare" ~count:500
+      QCheck.(pair small_q small_q)
+      (fun (a, b) ->
+        let fc = compare (Q.to_float a) (Q.to_float b) in
+        fc = 0 || compare (Q.compare a b) 0 = compare fc 0);
+    QCheck.Test.make ~name:"compare antisymmetric" ~count:500
+      QCheck.(pair small_q small_q)
+      (fun (a, b) -> Q.compare a b = -Q.compare b a);
+    QCheck.Test.make ~name:"triangle: |a+b| <= |a|+|b|" ~count:500
+      QCheck.(pair small_q small_q)
+      (fun (a, b) ->
+        Q.( <= ) (Q.abs (Q.add a b)) (Q.add (Q.abs a) (Q.abs b)));
+  ]
+
+let () =
+  Alcotest.run "rational"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "normalization" `Quick test_normalization;
+          Alcotest.test_case "zero denominator" `Quick test_zero_denominator;
+          Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+          Alcotest.test_case "comparisons" `Quick test_comparisons;
+          Alcotest.test_case "aggregates" `Quick test_aggregates;
+          Alcotest.test_case "conversions" `Quick test_conversions;
+          Alcotest.test_case "overflow" `Quick test_overflow;
+        ] );
+      ("properties", List.map (QCheck_alcotest.to_alcotest ~verbose:false) props);
+    ]
