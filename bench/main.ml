@@ -1,11 +1,13 @@
 (* Benchmark harness entry point: regenerates every experiment of
    EXPERIMENTS.md (tables T1-T7 and ablation A1, figures F1-F4, Bechamel
-   microbenchmarks B1-B6).
+   microbenchmarks B1-B12).
 
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe -- tables  # only the tables
      dune exec bench/main.exe -- figures # only the figures
      dune exec bench/main.exe -- micro   # only the microbenchmarks
+     dune exec bench/main.exe -- smoke   # reduced-size kernel checks
+                                         # (runs under `dune runtest`)
 *)
 
 let () =
@@ -17,11 +19,13 @@ let () =
   | "tables" -> Exp_tables.run_all ()
   | "figures" -> Exp_figures.run_all ()
   | "micro" -> Micro.run_all ()
+  | "smoke" -> Micro.smoke ()
   | "all" ->
       Exp_tables.run_all ();
       Exp_figures.run_all ();
       Micro.run_all ()
   | other ->
-      Printf.eprintf "unknown selector %S (use tables|figures|micro|all)\n" other;
+      Printf.eprintf "unknown selector %S (use tables|figures|micro|smoke|all)\n"
+        other;
       exit 2);
   print_endline "done."

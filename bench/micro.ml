@@ -1,9 +1,17 @@
-(* B1-B6: Bechamel microbenchmarks of the computational kernels.  Results
+(* B1-B12: Bechamel microbenchmarks of the computational kernels.  Results
    are printed as a plain table (ns/run from the OLS estimate against the
-   monotonic clock), keeping the output diffable. *)
+   monotonic clock), keeping the output diffable.
+
+   B7-B12 pair the Payoff_kernel query path against the naive
+   support-rescanning oracle (~naive:true) on the acceptance instance
+   (grid 10x12, n = 120, k = 5, nu = 6); a speedup table pairs the OLS
+   estimates.  [smoke] runs the same pairs at reduced size plus exact
+   kernel = naive equality assertions, exiting nonzero on any mismatch —
+   it is wired into [dune runtest] so kernel regressions fail the suite. *)
 
 open Bechamel
 open Toolkit
+module Q = Exact.Q
 
 let make_tests () =
   let rng = Prng.Rng.create 12321 in
@@ -50,21 +58,65 @@ let make_tests () =
            ignore (Sim.Engine.play sim_rng ne_prof ~rounds:100)));
   ]
 
-let run_all () =
-  let tests = Test.make_grouped ~name:"kernels" (make_tests ()) in
+(* --- kernel vs naive (B7-B12) --- *)
+
+(* A matching NE on a grid, the standing configuration for the
+   kernel-vs-naive pairs. *)
+let kernel_instance ~rows ~cols ~nu ~k =
+  let grid = Netgraph.Gen.grid rows cols in
+  let model = Defender.Model.make ~graph:grid ~nu ~k in
+  let partition =
+    match Defender.Matching_nash.find_partition grid with
+    | Some p -> p
+    | None -> failwith "grid partition"
+  in
+  let prof =
+    match Defender.Tuple_nash.a_tuple model partition with
+    | Ok p -> p
+    | Error e -> failwith e
+  in
+  (model, prof)
+
+(* One best-response sweep: the attacker scans every vertex's hit
+   probability, the defender greedily scans every edge's load. *)
+let br_sweep ?naive prof =
+  ignore (Defender.Best_response.vp_best_value ?naive prof);
+  ignore (Defender.Best_response.tp_greedy_value ?naive prof)
+
+let make_kernel_tests ~tag ~model ~prof =
+  let nm name = Printf.sprintf "%s (%s)" name tag in
+  [
+    Test.make ~name:(nm "B7 BR sweep, kernel")
+      (Staged.stage (fun () -> br_sweep prof));
+    Test.make ~name:(nm "B8 BR sweep, naive")
+      (Staged.stage (fun () -> br_sweep ~naive:true prof));
+    Test.make ~name:(nm "B9 characterization, kernel")
+      (Staged.stage (fun () ->
+           ignore (Defender.Characterization.check Defender.Verify.Certificate prof)));
+    Test.make ~name:(nm "B10 characterization, naive")
+      (Staged.stage (fun () ->
+           ignore
+             (Defender.Characterization.check ~naive:true
+                Defender.Verify.Certificate prof)));
+    Test.make ~name:(nm "B11 fictitious 100r, kernel")
+      (Staged.stage (fun () ->
+           ignore (Sim.Fictitious.run (Prng.Rng.create 777) model ~rounds:100)));
+    Test.make ~name:(nm "B12 fictitious 100r, naive")
+      (Staged.stage (fun () ->
+           ignore
+             (Sim.Fictitious.run ~naive:true (Prng.Rng.create 777) model
+                ~rounds:100)));
+  ]
+
+let analyze ~quota tests =
+  let grouped = Test.make_grouped ~name:"kernels" tests in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
   in
   let instances = Instance.[ monotonic_clock ] in
-  let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
-  in
-  let raw = Benchmark.all cfg instances tests in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~stabilize:true () in
+  let raw = Benchmark.all cfg instances grouped in
   let results = Analyze.all ols Instance.monotonic_clock raw in
-  let table =
-    Harness.Table.create ~title:"B1-B6: microbenchmarks (Bechamel OLS)"
-      ~columns:[ "kernel"; "time/run"; "r^2" ]
-  in
   let rows = ref [] in
   Hashtbl.iter
     (fun name ols_result ->
@@ -74,16 +126,149 @@ let run_all () =
         | _ -> nan
       in
       let r2 = Option.value (Analyze.OLS.r_square ols_result) ~default:nan in
-      let human =
-        if estimate > 1e9 then Printf.sprintf "%.3f s" (estimate /. 1e9)
-        else if estimate > 1e6 then Printf.sprintf "%.3f ms" (estimate /. 1e6)
-        else if estimate > 1e3 then Printf.sprintf "%.3f us" (estimate /. 1e3)
-        else Printf.sprintf "%.1f ns" estimate
-      in
-      rows := (name, human, Printf.sprintf "%.4f" r2) :: !rows)
+      rows := (name, estimate, r2) :: !rows)
     results;
+  List.sort compare !rows
+
+let human_time estimate =
+  if estimate > 1e9 then Printf.sprintf "%.3f s" (estimate /. 1e9)
+  else if estimate > 1e6 then Printf.sprintf "%.3f ms" (estimate /. 1e6)
+  else if estimate > 1e3 then Printf.sprintf "%.3f us" (estimate /. 1e3)
+  else Printf.sprintf "%.1f ns" estimate
+
+let print_rows ~title rows =
+  let table =
+    Harness.Table.create ~title ~columns:[ "kernel"; "time/run"; "r^2" ]
+  in
   List.iter
-    (fun (name, time, r2) -> Harness.Table.add_row table [ name; time; r2 ])
-    (List.sort compare !rows);
+    (fun (name, estimate, r2) ->
+      Harness.Table.add_row table
+        [ name; human_time estimate; Printf.sprintf "%.4f" r2 ])
+    rows;
   Harness.Table.print table;
   print_newline ()
+
+let find_estimate rows tag =
+  (* Bechamel prefixes grouped names; match on the "B7 " style tag. *)
+  List.find_map
+    (fun (name, estimate, _) ->
+      let rec has i =
+        i + String.length tag <= String.length name
+        && (String.sub name i (String.length tag) = tag || has (i + 1))
+      in
+      if has 0 then Some estimate else None)
+    rows
+
+let print_speedups rows =
+  let table =
+    Harness.Table.create ~title:"kernel speedups (naive time / kernel time)"
+      ~columns:[ "pair"; "kernel"; "naive"; "speedup" ]
+  in
+  List.iter
+    (fun (label, fast_tag, slow_tag) ->
+      match (find_estimate rows fast_tag, find_estimate rows slow_tag) with
+      | Some fast, Some slow ->
+          Harness.Table.add_row table
+            [
+              label;
+              human_time fast;
+              human_time slow;
+              Printf.sprintf "%.1fx" (slow /. fast);
+            ]
+      | _ -> Harness.Table.add_row table [ label; "?"; "?"; "?" ])
+    [
+      ("BR sweep (B8/B7)", "B7 ", "B8 ");
+      ("characterization (B10/B9)", "B9 ", "B10 ");
+      ("fictitious 100 rounds (B12/B11)", "B11 ", "B12 ");
+    ];
+  Harness.Table.print table;
+  print_newline ()
+
+let run_all () =
+  let model, prof = kernel_instance ~rows:10 ~cols:12 ~nu:6 ~k:5 in
+  let tests =
+    make_tests () @ make_kernel_tests ~tag:"grid 10x12, k=5" ~model ~prof
+  in
+  let rows = analyze ~quota:0.5 tests in
+  print_rows ~title:"B1-B12: microbenchmarks (Bechamel OLS)" rows;
+  print_speedups rows
+
+(* --- smoke: reduced size + exact kernel = naive assertions --- *)
+
+let smoke_failures = ref 0
+
+let smoke_check label ok =
+  if not ok then begin
+    incr smoke_failures;
+    Printf.eprintf "smoke FAIL: %s\n%!" label
+  end
+
+let assert_kernel_equals_naive ~label prof =
+  let g = Defender.Model.graph (Defender.Profile.model prof) in
+  let all_equal =
+    Seq.for_all
+      (fun v ->
+        Q.equal (Defender.Profile.hit_prob prof v)
+          (Defender.Profile.hit_prob ~naive:true prof v)
+        && Q.equal
+             (Defender.Profile.expected_load prof v)
+             (Defender.Profile.expected_load ~naive:true prof v))
+      (Seq.init (Netgraph.Graph.n g) Fun.id)
+    && Seq.for_all
+         (fun id ->
+           Q.equal
+             (Defender.Profile.expected_load_edge prof id)
+             (Defender.Profile.expected_load_edge ~naive:true prof id))
+         (Seq.init (Netgraph.Graph.m g) Fun.id)
+  in
+  smoke_check (label ^ ": kernel tables = naive oracle") all_equal
+
+let smoke () =
+  let model, prof = kernel_instance ~rows:4 ~cols:5 ~nu:3 ~k:2 in
+  let g = Defender.Model.graph model in
+  assert_kernel_equals_naive ~label:"a_tuple NE" prof;
+  (* A chain of incremental deviations must stay exactly equal to the
+     oracle (and to a from-scratch rebuild, checked transitively). *)
+  let rng = Prng.Rng.create 31 in
+  let deviated = ref prof in
+  for step = 1 to 6 do
+    let player = Prng.Rng.int rng (Defender.Model.nu model) in
+    let size = 1 + Prng.Rng.int rng (Netgraph.Graph.n g) in
+    let support =
+      Array.to_list
+        (Prng.Rng.sample_without_replacement rng ~count:size
+           (Array.init (Netgraph.Graph.n g) Fun.id))
+    in
+    deviated :=
+      Defender.Profile.replace_vp !deviated player (Dist.Finite.uniform support);
+    assert_kernel_equals_naive
+      ~label:(Printf.sprintf "replace_vp chain step %d" step)
+      !deviated
+  done;
+  (match Defender.Profile.tp_support !deviated with
+  | first :: _ ->
+      deviated := Defender.Profile.replace_tp !deviated [ (first, Q.one) ];
+      assert_kernel_equals_naive ~label:"replace_tp collapse" !deviated
+  | [] -> smoke_check "non-empty tp support" false);
+  (* Incremental and history-rescanning fictitious play are bit-for-bit
+     identical on the same seed. *)
+  let a = Sim.Fictitious.run (Prng.Rng.create 99) model ~rounds:40 in
+  let b = Sim.Fictitious.run ~naive:true (Prng.Rng.create 99) model ~rounds:40 in
+  smoke_check "fictitious naive = incremental (bit-for-bit)"
+    (a.Sim.Fictitious.avg_gain = b.Sim.Fictitious.avg_gain
+    && a.Sim.Fictitious.gain_series = b.Sim.Fictitious.gain_series
+    && a.Sim.Fictitious.attack_frequency = b.Sim.Fictitious.attack_frequency
+    && a.Sim.Fictitious.scan_frequency = b.Sim.Fictitious.scan_frequency);
+  (* Reduced-size benchmark pass: exercises the Bechamel plumbing so the
+     full micro target cannot bitrot silently. *)
+  let rows =
+    analyze ~quota:0.02
+      (make_kernel_tests ~tag:"grid 4x5, k=2" ~model ~prof)
+  in
+  print_rows ~title:"smoke: kernel vs naive (reduced size)" rows;
+  print_speedups rows;
+  if !smoke_failures > 0 then begin
+    Printf.eprintf "smoke: %d failure(s)\n%!" !smoke_failures;
+    exit 1
+  end;
+  print_endline "smoke: all kernel = naive assertions passed."

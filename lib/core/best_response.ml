@@ -3,11 +3,11 @@ module Q = Exact.Q
 
 let graph m = Model.graph (Profile.model m)
 
-let vp_best_vertex m =
+let vp_best_vertex ?naive m =
   let g = graph m in
-  let best = ref 0 and best_hit = ref (Profile.hit_prob m 0) in
+  let best = ref 0 and best_hit = ref (Profile.hit_prob ?naive m 0) in
   for v = 1 to Graph.n g - 1 do
-    let h = Profile.hit_prob m v in
+    let h = Profile.hit_prob ?naive m v in
     if Q.( < ) h !best_hit then begin
       best := v;
       best_hit := h
@@ -15,35 +15,36 @@ let vp_best_vertex m =
   done;
   !best
 
-let vp_best_value m = Q.sub Q.one (Profile.hit_prob m (vp_best_vertex m))
+let vp_best_value ?naive m =
+  Q.sub Q.one (Profile.hit_prob ?naive m (vp_best_vertex ?naive m))
 
 let check_limit m limit =
   match Model.tuple_space_size (Profile.model m) with
   | Some c when c <= limit -> ()
   | _ -> invalid_arg "Best_response: tuple space too large for enumeration"
 
-let tp_best_tuple_exhaustive ?(limit = 2_000_000) m =
+let tp_best_tuple_exhaustive ?(limit = 2_000_000) ?naive m =
   check_limit m limit;
   let g = graph m in
   let k = Model.k (Profile.model m) in
   let best = ref None in
   let _ =
     Tuple.fold_enumerate g ~k ~init:() ~f:(fun () t ->
-        let value = Profile.expected_load_tuple m t in
+        let value = Profile.expected_load_tuple ?naive m t in
         match !best with
         | Some (_, v) when Q.( >= ) v value -> ()
         | _ -> best := Some (t, value))
   in
   match !best with Some (t, _) -> t | None -> assert false
 
-let tp_best_value_exhaustive ?limit m =
-  Profile.expected_load_tuple m (tp_best_tuple_exhaustive ?limit m)
+let tp_best_value_exhaustive ?limit ?naive m =
+  Profile.expected_load_tuple ?naive m (tp_best_tuple_exhaustive ?limit ?naive m)
 
-let tp_upper_bound m =
+let tp_upper_bound ?naive m =
   let g = graph m in
   let k = Model.k (Profile.model m) in
   let loads =
-    List.init (Graph.m g) (fun id -> Profile.expected_load_edge m id)
+    List.init (Graph.m g) (fun id -> Profile.expected_load_edge ?naive m id)
     |> List.sort (fun a b -> Q.compare b a)
   in
   let rec take i acc = function
@@ -53,14 +54,16 @@ let tp_upper_bound m =
   in
   take 0 Q.zero loads
 
-let tp_greedy_value m =
+let tp_greedy_value ?naive m =
   let g = graph m in
   let k = Model.k (Profile.model m) in
   let chosen = Array.make (Graph.m g) false in
   let covered = Array.make (Graph.n g) false in
   let gain id =
     let e = Graph.edge g id in
-    let value_of v = if covered.(v) then Q.zero else Profile.expected_load m v in
+    let value_of v =
+      if covered.(v) then Q.zero else Profile.expected_load ?naive m v
+    in
     Q.add (value_of e.Graph.u) (value_of e.Graph.v)
   in
   let total = ref Q.zero in

@@ -9,28 +9,34 @@
 open Netgraph
 module Q = Exact.Q
 
+(** All functions answer payoff queries from the profile's
+    {!Payoff_kernel} tables (O(1) per query); [~naive:true] re-scans the
+    supports instead — the correctness oracle, exactly equal and used by
+    the kernel-vs-naive microbenchmarks. *)
+
 (** Max over vertices of [1 − Hit(v)]: the best payoff available to any
     vertex player. *)
-val vp_best_value : Profile.mixed -> Q.t
+val vp_best_value : ?naive:bool -> Profile.mixed -> Q.t
 
 (** A vertex attaining {!vp_best_value} (minimum hit probability). *)
-val vp_best_vertex : Profile.mixed -> Graph.vertex
+val vp_best_vertex : ?naive:bool -> Profile.mixed -> Graph.vertex
 
 (** Max over all tuples [t ∈ E^k] of m_s(t), by enumeration.
     @raise Invalid_argument when C(m,k) exceeds [limit] (default
     2_000_000). *)
-val tp_best_value_exhaustive : ?limit:int -> Profile.mixed -> Q.t
+val tp_best_value_exhaustive : ?limit:int -> ?naive:bool -> Profile.mixed -> Q.t
 
 (** A maximizing tuple (same enumeration and guard). *)
-val tp_best_tuple_exhaustive : ?limit:int -> Profile.mixed -> Tuple.t
+val tp_best_tuple_exhaustive :
+  ?limit:int -> ?naive:bool -> Profile.mixed -> Tuple.t
 
 (** Upper bound on [max_t m_s(t)]: the sum of the k largest edge loads
     m_s(e).  Valid because m_s(t) ≤ Σ_{e∈t} m_s(e); tight exactly when
     some k edges with maximal loads cover disjoint loaded vertices, which
     is the situation in every k-matching equilibrium. *)
-val tp_upper_bound : Profile.mixed -> Q.t
+val tp_upper_bound : ?naive:bool -> Profile.mixed -> Q.t
 
 (** Greedy baseline (pick k edges by marginal coverage gain): a lower
     bound on the defender's best-response value; the classic (1 − 1/e)
     max-coverage heuristic, used in benchmarks. *)
-val tp_greedy_value : Profile.mixed -> Q.t
+val tp_greedy_value : ?naive:bool -> Profile.mixed -> Q.t

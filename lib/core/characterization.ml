@@ -19,7 +19,7 @@ let verdict r =
   else if not r.cond3b_total_load then fail "3b"
   else r.cond3a_support_loads
 
-let check mode m =
+let check ?naive mode m =
   let g = Model.graph (Profile.model m) in
   let support_edges = Profile.tp_support_edges m in
   let cond1_edge_cover = Matching.Checks.is_edge_cover g support_edges in
@@ -31,23 +31,23 @@ let check mode m =
     match Profile.vp_support_union m with
     | [] -> false
     | support ->
-        let hits = List.map (Profile.hit_prob m) support in
+        let hits = List.map (Profile.hit_prob ?naive m) support in
         let h0 = List.hd hits in
         List.for_all (Q.equal h0) hits
         &&
         let global_min =
           Q.min_list
-            (List.init (Graph.n g) (fun v -> Profile.hit_prob m v))
+            (List.init (Graph.n g) (fun v -> Profile.hit_prob ?naive m v))
         in
         Q.equal h0 global_min
   in
   let cond2b_tp_probability_sums =
     Q.equal (Q.sum (List.map snd (Profile.tp_strategy m))) Q.one
   in
-  let cond3a_support_loads = Verify.tp_side mode m in
+  let cond3a_support_loads = Verify.tp_side ?naive mode m in
   let cond3b_total_load =
     let covered = Tuple.vertex_union g (Profile.tp_support m) in
-    let total = Q.sum (List.map (Profile.expected_load m) covered) in
+    let total = Q.sum (List.map (Profile.expected_load ?naive m) covered) in
     Q.equal total (Q.of_int (Model.nu (Profile.model m)))
   in
   {
@@ -59,7 +59,8 @@ let check mode m =
     cond3b_total_load;
   }
 
-let holds mode m = Verify.verdict_is_confirmed (verdict (check mode m))
+let holds ?naive mode m =
+  Verify.verdict_is_confirmed (verdict (check ?naive mode m))
 
 let pp_report fmt r =
   Format.fprintf fmt

@@ -23,9 +23,11 @@ type report = {
 (** Overall verdict implied by a report. *)
 val verdict : report -> Verify.verdict
 
-val check : Verify.mode -> Profile.mixed -> report
+(** [~naive:true] answers the hit/load queries by support re-scan instead
+    of the profile's {!Payoff_kernel} tables (correctness oracle). *)
+val check : ?naive:bool -> Verify.mode -> Profile.mixed -> report
 
 (** [holds mode m] = the characterization verdict is [Confirmed]. *)
-val holds : Verify.mode -> Profile.mixed -> bool
+val holds : ?naive:bool -> Verify.mode -> Profile.mixed -> bool
 
 val pp_report : Format.formatter -> report -> unit

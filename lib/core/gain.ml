@@ -1,6 +1,6 @@
 module Q = Exact.Q
 
-let defender_gain = Profit.expected_tp
+let defender_gain m = Profit.expected_tp m
 
 let predicted_gain model ~is_size =
   if is_size < 1 then invalid_arg "Gain.predicted_gain: empty support";

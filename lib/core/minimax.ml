@@ -40,26 +40,17 @@ let solve g =
 let fractional_edge_cover_number g = (solve g).rho_star
 
 let hit_floor g marginals =
-  let hit v =
-    Array.fold_left
-      (fun acc id -> Q.add acc marginals.(id))
-      Q.zero (Graph.incident_edges g v)
-  in
-  Q.min_list (List.init (Graph.n g) hit)
+  (* The hit probability of a fractional edge schedule is the per-vertex
+     incidence sum of the marginals; answered by the kernel primitive. *)
+  Q.min_list (Array.to_list (Payoff_kernel.vertex_incidence_sums g marginals))
 
 let certified g d =
-  let n = Graph.n g and m = Graph.m g in
+  let m = Graph.m g in
   (* cover feasibility: every vertex fractionally covered *)
   let cover_ok =
-    List.for_all
-      (fun v ->
-        let total =
-          Array.fold_left
-            (fun acc id -> Q.add acc d.cover.(id))
-            Q.zero (Graph.incident_edges g v)
-        in
-        Q.( >= ) total Q.one)
-      (List.init n Fun.id)
+    Array.for_all
+      (fun total -> Q.( >= ) total Q.one)
+      (Payoff_kernel.vertex_incidence_sums g d.cover)
     && Array.for_all (fun xe -> Q.( >= ) xe Q.zero) d.cover
   in
   (* packing feasibility *)

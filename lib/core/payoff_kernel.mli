@@ -1,0 +1,80 @@
+(** Incremental exact-payoff kernel for the equilibrium hot loops.
+
+    Every equilibrium routine (best responses, the Theorem 3.4
+    characterization, NE verification, fictitious play) bottoms out in the
+    quantities [Hit(v)], [m_s(v)] and [m_s(e)] of a mixed configuration.
+    Computed naively these re-scan the defender's support (respectively
+    the attackers' strategies) on every query, so a sweep over all
+    vertices costs O(n · support · k).  The kernel precomputes three exact
+    tables once per configuration —
+
+    - [hit]: per-vertex hit probability P(Hit(v)),
+    - [load]: per-vertex expected attacker load m_s(v),
+    - [edge_load]: per-edge load m_s(e) = m_s(u) + m_s(v),
+
+    — making every query O(1), and patches them {e incrementally} on
+    one-player deviations instead of rebuilding:
+
+    - {!replace_vp} touches only the supports of the outgoing and incoming
+      distributions (plus their incident edges); the hit table is shared
+      unchanged (it depends only on the defender);
+    - {!replace_tp} rebuilds only the hit table; both load tables are
+      shared unchanged (they depend only on the attackers).
+
+    All arithmetic is exact ({!Exact.Q}), so kernel tables are {e equal},
+    not approximately equal, to the naive recomputation; the property
+    tests assert this with [Q.equal], no tolerance.  {!Profile} embeds a
+    kernel in every mixed configuration and keeps the naive recomputation
+    alive behind a [~naive:true] flag as the correctness oracle. *)
+
+open Netgraph
+module Q = Exact.Q
+
+type t
+
+(** Build the tables from scratch: O(n + m + Σ_i |supp vp_i| · deg +
+    Σ_t |V(t)|).  The inputs are assumed validated (by
+    [Profile.make_mixed]). *)
+val make : Model.t -> vp:Dist.Finite.t array -> tp:(Tuple.t * Q.t) list -> t
+
+val model : t -> Model.t
+
+(** P(Hit(v)), O(1). @raise Invalid_argument if [v] is out of range. *)
+val hit_prob : t -> Graph.vertex -> Q.t
+
+(** m_s(v), O(1). @raise Invalid_argument if [v] is out of range. *)
+val expected_load : t -> Graph.vertex -> Q.t
+
+(** m_s(e), O(1). @raise Invalid_argument if the id is out of range. *)
+val expected_load_edge : t -> Graph.edge_id -> Q.t
+
+(** m_s(t) by summing the load table over V(t): O(k), independent of ν
+    and of the support sizes. *)
+val expected_load_tuple : t -> Tuple.t -> Q.t
+
+(** [replace_vp k ~old_d ~new_d]: the kernel after one vertex player moves
+    from [old_d] to [new_d].  Cost O(n) for the copy plus
+    O((|supp old_d| + |supp new_d|) · max-degree) for the patch; the hit
+    table is shared with [k]. *)
+val replace_vp : t -> old_d:Dist.Finite.t -> new_d:Dist.Finite.t -> t
+
+(** [replace_tp k ~tp]: the kernel after the defender switches support;
+    rebuilds the hit table only, sharing both load tables with [k]. *)
+val replace_tp : t -> tp:(Tuple.t * Q.t) list -> t
+
+(** Defensive copies of the tables, for bulk comparisons in tests and
+    benchmarks. *)
+val hit_table_copy : t -> Q.t array
+
+val load_table_copy : t -> Q.t array
+val edge_load_table_copy : t -> Q.t array
+
+(** [vertex_incidence_sums g w]: per-vertex sums Σ_{e ∋ v} w(e) of
+    arbitrary per-edge weights — the primitive behind the hit floor of a
+    fractional edge schedule ({!Minimax}). *)
+val vertex_incidence_sums : Graph.t -> Q.t array -> Q.t array
+
+(** [weighted_loads model ~weights ~vp]: per-vertex damage-weighted loads
+    Σ_i w_i · P(vp_i = v), the table behind {!Weighted}'s hot loops. *)
+val weighted_loads :
+  Model.t -> weights:Q.t array -> vp:Dist.Finite.t array -> Q.t array

@@ -11,6 +11,7 @@ type mixed = {
   model : Model.t;
   vp : Finite.t array;
   tp : (Tuple.t * Q.t) list;  (* positive probs, canonical tuples, sums to 1 *)
+  kernel : Payoff_kernel.t;  (* exact hit/load tables, kept in sync *)
 }
 
 let check_vertex g v =
@@ -30,12 +31,7 @@ let make_pure model ~vp_choices ~tp_choice =
   check_tuple model tp_choice;
   { vp_choices = Array.of_list vp_choices; tp_choice }
 
-let make_mixed model ~vp ~tp =
-  if List.length vp <> Model.nu model then
-    invalid_arg "Profile.make_mixed: wrong number of vertex-player strategies";
-  List.iter
-    (fun d -> List.iter (check_vertex (Model.graph model)) (Finite.support d))
-    vp;
+let check_tp model tp =
   if tp = [] then invalid_arg "Profile.make_mixed: empty tuple-player strategy";
   let seen = Hashtbl.create 16 in
   List.iter
@@ -51,8 +47,17 @@ let make_mixed model ~vp ~tp =
   if not (Q.equal total Q.one) then
     invalid_arg
       (Printf.sprintf "Profile.make_mixed: tuple probabilities sum to %s"
-         (Q.to_string total));
-  { model; vp = Array.of_list vp; tp }
+         (Q.to_string total))
+
+let make_mixed model ~vp ~tp =
+  if List.length vp <> Model.nu model then
+    invalid_arg "Profile.make_mixed: wrong number of vertex-player strategies";
+  List.iter
+    (fun d -> List.iter (check_vertex (Model.graph model)) (Finite.support d))
+    vp;
+  check_tp model tp;
+  let vp = Array.of_list vp in
+  { model; vp; tp; kernel = Payoff_kernel.make model ~vp ~tp }
 
 let of_pure model { vp_choices; tp_choice } =
   make_mixed model
@@ -69,12 +74,14 @@ let uniform model ~vp_support ~tp_support =
     ~tp:(List.map (fun t -> (t, p)) tp_support)
 
 let model m = m.model
+let kernel m = m.kernel
 
 let vp_strategy m i =
   if i < 0 || i >= Array.length m.vp then
     invalid_arg "Profile.vp_strategy: player index out of range";
   m.vp.(i)
 
+let vp_strategies m = Array.copy m.vp
 let tp_strategy m = m.tp
 let vp_support m i = Finite.support (vp_strategy m i)
 
@@ -88,29 +95,46 @@ let tuples_hitting m v =
   let g = Model.graph m.model in
   List.filter (fun (t, _) -> Tuple.covers g t v) m.tp
 
-let hit_prob m v = Q.sum (List.map snd (tuples_hitting m v))
+(* The naive recomputations below re-scan the relevant support on every
+   query; they are the correctness oracle for the kernel tables (the
+   property tests assert exact Q-equality between the two paths). *)
 
-let expected_load m v =
+let naive_hit_prob m v = Q.sum (List.map snd (tuples_hitting m v))
+
+let naive_expected_load m v =
   Array.fold_left (fun acc d -> Q.add acc (Finite.prob d v)) Q.zero m.vp
 
-let expected_load_edge m id =
-  let e = Graph.edge (Model.graph m.model) id in
-  Q.add (expected_load m e.Graph.u) (expected_load m e.Graph.v)
+let hit_prob ?(naive = false) m v =
+  if naive then naive_hit_prob m v else Payoff_kernel.hit_prob m.kernel v
 
-let expected_load_tuple m t =
-  let g = Model.graph m.model in
-  Q.sum (List.map (expected_load m) (Tuple.vertices g t))
+let expected_load ?(naive = false) m v =
+  if naive then naive_expected_load m v
+  else Payoff_kernel.expected_load m.kernel v
+
+let expected_load_edge ?(naive = false) m id =
+  if naive then
+    let e = Graph.edge (Model.graph m.model) id in
+    Q.add (naive_expected_load m e.Graph.u) (naive_expected_load m e.Graph.v)
+  else Payoff_kernel.expected_load_edge m.kernel id
+
+let expected_load_tuple ?(naive = false) m t =
+  if naive then
+    let g = Model.graph m.model in
+    Q.sum (List.map (naive_expected_load m) (Tuple.vertices g t))
+  else Payoff_kernel.expected_load_tuple m.kernel t
 
 let replace_vp m i d =
   List.iter (check_vertex (Model.graph m.model)) (Finite.support d);
   if i < 0 || i >= Array.length m.vp then
     invalid_arg "Profile.replace_vp: player index out of range";
+  let kernel = Payoff_kernel.replace_vp m.kernel ~old_d:m.vp.(i) ~new_d:d in
   let vp = Array.copy m.vp in
   vp.(i) <- d;
-  { m with vp }
+  { m with vp; kernel }
 
 let replace_tp m tp =
-  make_mixed m.model ~vp:(Array.to_list m.vp) ~tp
+  check_tp m.model tp;
+  { m with tp; kernel = Payoff_kernel.replace_tp m.kernel ~tp }
 
 let is_pure m =
   Array.for_all Finite.is_pure m.vp && List.length m.tp = 1

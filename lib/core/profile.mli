@@ -36,9 +36,16 @@ val uniform : Model.t -> vp_support:Graph.vertex list -> tp_support:Tuple.t list
 
 val model : mixed -> Model.t
 
+(** The configuration's precomputed exact payoff tables ({!Payoff_kernel}),
+    kept in sync by the constructors and by {!replace_vp}/{!replace_tp}. *)
+val kernel : mixed -> Payoff_kernel.t
+
 (** Strategy of vertex player [i]. @raise Invalid_argument if out of
     range. *)
 val vp_strategy : mixed -> int -> Dist.Finite.t
+
+(** All vertex players' strategies, indexed by player (a copy). *)
+val vp_strategies : mixed -> Dist.Finite.t array
 
 (** The tuple player's strategy: support tuples with probabilities. *)
 val tp_strategy : mixed -> (Tuple.t * Q.t) list
@@ -58,21 +65,26 @@ val tp_support_edges : mixed -> Graph.edge_id list
 (** Tuples_s(v): support tuples covering vertex [v]. *)
 val tuples_hitting : mixed -> Graph.vertex -> (Tuple.t * Q.t) list
 
-(** P_s(Hit(v)). *)
-val hit_prob : mixed -> Graph.vertex -> Q.t
+(** P_s(Hit(v)).  O(1) from the kernel table; [~naive:true] re-scans the
+    defender's support instead (the correctness oracle — both paths are
+    exactly equal). *)
+val hit_prob : ?naive:bool -> mixed -> Graph.vertex -> Q.t
 
-(** m_s(v): expected number of vertex players on [v]. *)
-val expected_load : mixed -> Graph.vertex -> Q.t
+(** m_s(v): expected number of vertex players on [v].  O(1) from the
+    kernel table; [~naive:true] re-scans the attackers' strategies. *)
+val expected_load : ?naive:bool -> mixed -> Graph.vertex -> Q.t
 
 (** m_s(e) = m_s(u) + m_s(v) for an edge. *)
-val expected_load_edge : mixed -> Graph.edge_id -> Q.t
+val expected_load_edge : ?naive:bool -> mixed -> Graph.edge_id -> Q.t
 
 (** m_s(t) = Σ_{v ∈ V(t)} m_s(v) for any tuple (not necessarily in the
     support). *)
-val expected_load_tuple : mixed -> Tuple.t -> Q.t
+val expected_load_tuple : ?naive:bool -> mixed -> Tuple.t -> Q.t
 
 (** [replace_vp m i d] / [replace_tp m tp]: one-player deviations, used by
-    best-response checks. *)
+    best-response checks.  The kernel tables are patched incrementally —
+    [replace_vp] touches only the two supports involved (the hit table is
+    shared), [replace_tp] rebuilds only the hit table. *)
 val replace_vp : mixed -> int -> Dist.Finite.t -> mixed
 
 val replace_tp : mixed -> (Tuple.t * Q.t) list -> mixed

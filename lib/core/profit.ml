@@ -13,15 +13,16 @@ let pure_tp model profile =
     (fun acc v -> if Tuple.covers g profile.Profile.tp_choice v then acc + 1 else acc)
     0 profile.Profile.vp_choices
 
-let vp_payoff_of_vertex m v = Q.sub Q.one (Profile.hit_prob m v)
+let vp_payoff_of_vertex ?naive m v = Q.sub Q.one (Profile.hit_prob ?naive m v)
 
-let tp_payoff_of_tuple m t = Profile.expected_load_tuple m t
+let tp_payoff_of_tuple ?naive m t = Profile.expected_load_tuple ?naive m t
 
-let expected_vp m i =
-  Dist.Finite.expect (Profile.vp_strategy m i) ~f:(fun v -> vp_payoff_of_vertex m v)
+let expected_vp ?naive m i =
+  Dist.Finite.expect (Profile.vp_strategy m i) ~f:(fun v ->
+      vp_payoff_of_vertex ?naive m v)
 
-let expected_tp m =
+let expected_tp ?naive m =
   Q.sum
     (List.map
-       (fun (t, p) -> Q.mul p (Profile.expected_load_tuple m t))
+       (fun (t, p) -> Q.mul p (Profile.expected_load_tuple ?naive m t))
        (Profile.tp_strategy m))

@@ -9,16 +9,21 @@ val pure_vp : Model.t -> Profile.pure -> int -> int
 (** IP_tp: number of vertex players caught. *)
 val pure_tp : Model.t -> Profile.pure -> int
 
+(** The mixed-profile quantities are answered from the profile's
+    {!Payoff_kernel} tables; [~naive:true] re-derives them by support
+    re-scan (correctness oracle, exactly equal). *)
+
 (** Expected IP_i per equation (1): Σ_v P(vp_i = v) (1 − P(Hit(v))). *)
-val expected_vp : Profile.mixed -> int -> Q.t
+val expected_vp : ?naive:bool -> Profile.mixed -> int -> Q.t
 
 (** Expected IP_tp per equation (2): Σ_t P(tp = t) m_s(t). *)
-val expected_tp : Profile.mixed -> Q.t
+val expected_tp : ?naive:bool -> Profile.mixed -> Q.t
 
 (** Payoff of playing pure vertex [v] against the profile's defender:
     [1 − Hit(v)].  The best-response value for a vertex player. *)
-val vp_payoff_of_vertex : Profile.mixed -> Netgraph.Graph.vertex -> Q.t
+val vp_payoff_of_vertex :
+  ?naive:bool -> Profile.mixed -> Netgraph.Graph.vertex -> Q.t
 
 (** Payoff of playing pure tuple [t] against the profile's attackers:
     [m_s(t)].  The best-response value for the defender. *)
-val tp_payoff_of_tuple : Profile.mixed -> Tuple.t -> Q.t
+val tp_payoff_of_tuple : ?naive:bool -> Profile.mixed -> Tuple.t -> Q.t

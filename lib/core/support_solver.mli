@@ -34,10 +34,13 @@ val failure_to_string : failure -> string
 
 (** [solve model ~vp_support ~tp_support] attempts the construction.
     The defender side of the best-response check enumerates C(m,k)
-    tuples, guarded by [limit] (default 2_000_000).
+    tuples, guarded by [limit] (default 2_000_000); [~naive:true] runs
+    that check on the support-rescanning oracle instead of the
+    {!Payoff_kernel} tables.
     @raise Invalid_argument on empty supports or out-of-range members. *)
 val solve :
   ?limit:int ->
+  ?naive:bool ->
   Model.t ->
   vp_support:Graph.vertex list ->
   tp_support:Tuple.t list ->
@@ -53,6 +56,7 @@ val solve :
     guards. *)
 val search :
   ?limit:int ->
+  ?naive:bool ->
   Model.t ->
   candidate_tuples:Tuple.t list ->
   Profile.mixed list

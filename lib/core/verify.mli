@@ -23,11 +23,12 @@ val verdict_is_confirmed : verdict -> bool
 val verdict_to_string : verdict -> string
 
 (** Check the vertex players only (always polynomial): [Confirmed] or
-    [Refuted]. *)
-val vp_side : Profile.mixed -> verdict
+    [Refuted].  [~naive:true] bypasses the profile's {!Payoff_kernel}
+    tables and re-scans the supports (correctness oracle). *)
+val vp_side : ?naive:bool -> Profile.mixed -> verdict
 
 (** Check the defender only. *)
-val tp_side : mode -> Profile.mixed -> verdict
+val tp_side : ?naive:bool -> mode -> Profile.mixed -> verdict
 
 (** Conjunction of both sides. *)
-val mixed_ne : mode -> Profile.mixed -> verdict
+val mixed_ne : ?naive:bool -> mode -> Profile.mixed -> verdict

@@ -24,10 +24,25 @@ let expected_load_tuple t profile tuple =
   let g = Model.graph t.model in
   Q.sum (List.map (expected_load t profile) (Tuple.vertices g tuple))
 
+(* Hot loops precompute the per-vertex weighted-load table once
+   (Payoff_kernel.weighted_loads) so each tuple query is O(k) instead of
+   O(k·ν·log supp). *)
+let load_table t profile =
+  Payoff_kernel.weighted_loads t.model ~weights:t.weights
+    ~vp:(Profile.vp_strategies profile)
+
+let table_load_tuple t loads tuple =
+  let g = Model.graph t.model in
+  List.fold_left
+    (fun acc v -> Q.add acc loads.(v))
+    Q.zero
+    (Tuple.vertices g tuple)
+
 let expected_tp t profile =
+  let loads = load_table t profile in
   Q.sum
     (List.map
-       (fun (tuple, p) -> Q.mul p (expected_load_tuple t profile tuple))
+       (fun (tuple, p) -> Q.mul p (table_load_tuple t loads tuple))
        (Profile.tp_strategy profile))
 
 let expected_vp t profile i =
@@ -43,9 +58,10 @@ let verify_ne ?(limit = 2_000_000) t profile =
       (match Model.tuple_space_size t.model with
       | Some c when c <= limit -> ()
       | _ -> invalid_arg "Weighted.verify_ne: tuple space too large");
+      let table = load_table t profile in
       let loads =
         List.map
-          (fun (tuple, _) -> expected_load_tuple t profile tuple)
+          (fun (tuple, _) -> table_load_tuple t table tuple)
           (Profile.tp_strategy profile)
       in
       let low = Q.min_list loads and high = Q.max_list loads in
@@ -54,7 +70,7 @@ let verify_ne ?(limit = 2_000_000) t profile =
       else
         let best =
           Tuple.fold_enumerate g ~k ~init:Q.zero ~f:(fun acc tuple ->
-              Q.max acc (expected_load_tuple t profile tuple))
+              Q.max acc (table_load_tuple t table tuple))
         in
         if Q.( < ) low best then
           Verify.Refuted

@@ -4,11 +4,12 @@ module Q = Exact.Q
    summing to exactly one. *)
 type t = { pairs : (int * Q.t) array }
 
-let build pairs =
+let build ~caller pairs =
   let table = Hashtbl.create (List.length pairs) in
   List.iter
     (fun (x, p) ->
-      if Q.sign p < 0 then invalid_arg "Finite.make: negative probability";
+      if Q.sign p < 0 then
+        invalid_arg (Printf.sprintf "Finite.%s: negative probability" caller);
       if not (Q.is_zero p) then
         let prev = Option.value (Hashtbl.find_opt table x) ~default:Q.zero in
         Hashtbl.replace table x (Q.add prev p))
@@ -19,7 +20,7 @@ let build pairs =
   arr
 
 let make pairs =
-  let arr = build pairs in
+  let arr = build ~caller:"make" pairs in
   let total = Array.fold_left (fun acc (_, p) -> Q.add acc p) Q.zero arr in
   if not (Q.equal total Q.one) then
     invalid_arg
@@ -56,6 +57,11 @@ let pure_outcome t =
 let expect t ~f =
   Array.fold_left (fun acc (x, p) -> Q.add acc (Q.mul p (f x))) Q.zero t.pairs
 
+let fold t ~init ~f =
+  Array.fold_left (fun acc (x, p) -> f acc x p) init t.pairs
+
+let iter t ~f = Array.iter (fun (x, p) -> f x p) t.pairs
+
 let prob_of t ~f =
   Array.fold_left
     (fun acc (x, p) -> if f x then Q.add acc p else acc)
@@ -72,7 +78,7 @@ let tv_distance a b =
 
 let map t ~f =
   let remapped = Array.to_list (Array.map (fun (x, p) -> (f x, p)) t.pairs) in
-  { pairs = build remapped }
+  { pairs = build ~caller:"map" remapped }
 
 let equal a b =
   Array.length a.pairs = Array.length b.pairs

@@ -37,6 +37,12 @@ val pure_outcome : t -> int
 (** Expectation of a rational-valued function over the support. *)
 val expect : t -> f:(int -> Exact.Q.t) -> Exact.Q.t
 
+(** Left fold over the [(outcome, probability)] pairs, in outcome order. *)
+val fold : t -> init:'a -> f:('a -> int -> Exact.Q.t -> 'a) -> 'a
+
+(** Iterate over the [(outcome, probability)] pairs, in outcome order. *)
+val iter : t -> f:(int -> Exact.Q.t -> unit) -> unit
+
 (** Probability of a predicate. *)
 val prob_of : t -> f:(int -> bool) -> Exact.Q.t
 

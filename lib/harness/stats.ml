@@ -4,9 +4,16 @@ let mean xs =
   | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
 
 let stddev xs =
-  let mu = mean xs in
-  let var = mean (List.map (fun x -> (x -. mu) ** 2.0) xs) in
-  sqrt var
+  (* Sample (n−1) estimator: the population (n) estimator understates
+     sigma on finite samples and silently tightens Monte-Carlo acceptance
+     bands built from it (T7). *)
+  match xs with
+  | [] -> invalid_arg "Stats.stddev: empty list"
+  | [ _ ] -> 0.0
+  | _ ->
+      let mu = mean xs in
+      let ss = List.fold_left (fun acc x -> acc +. ((x -. mu) ** 2.0)) 0.0 xs in
+      sqrt (ss /. float_of_int (List.length xs - 1))
 
 type fit = { slope : float; intercept : float; r_squared : float }
 

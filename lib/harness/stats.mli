@@ -2,6 +2,9 @@
     paper's asymptotic and linearity claims quantitatively (F1–F3). *)
 
 val mean : float list -> float
+
+(** Sample standard deviation (the unbiased n−1 estimator); 0.0 for a
+    single observation. @raise Invalid_argument on the empty list. *)
 val stddev : float list -> float
 
 type fit = {

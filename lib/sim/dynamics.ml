@@ -47,11 +47,21 @@ let greedy_response g k choices =
         end
       end
     done;
-    chosen.(!best) <- true;
-    let e = Graph.edge g !best in
+    (* Same guard as Fictitious.greedy_response: never index with the -1
+       sentinel; fall back to the lowest-id remaining edge. *)
+    let pick =
+      if !best >= 0 then !best
+      else begin
+        let id = ref 0 in
+        while chosen.(!id) do incr id done;
+        !id
+      end
+    in
+    chosen.(pick) <- true;
+    let e = Graph.edge g pick in
     covered.(e.Graph.u) <- true;
     covered.(e.Graph.v) <- true;
-    picks := !best :: !picks
+    picks := pick :: !picks
   done;
   Defender.Tuple.of_list g !picks
 

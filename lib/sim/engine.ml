@@ -23,17 +23,6 @@ let escape_rate stats i =
 let confidence95 stats =
   1.96 *. stats.stddev_caught /. sqrt (float_of_int stats.rounds)
 
-let sample_tuple rng strategy =
-  let target = Rng.float rng in
-  let rec scan acc = function
-    | [ (t, _) ] -> t
-    | (t, p) :: rest ->
-        let acc = acc +. Q.to_float p in
-        if target < acc then t else scan acc rest
-    | [] -> assert false
-  in
-  scan 0.0 strategy
-
 let play ?record rng profile ~rounds =
   if rounds < 1 then invalid_arg "Engine.play: rounds must be positive";
   let model = Defender.Profile.model profile in
@@ -42,7 +31,30 @@ let play ?record rng profile ~rounds =
   let strategies =
     Array.init nu (fun i -> Defender.Profile.vp_strategy profile i)
   in
-  let tp_strategy = Defender.Profile.tp_strategy profile in
+  let tp = Array.of_list (Defender.Profile.tp_strategy profile) in
+  (* Kernel-style precomputation: one float weight and one boolean
+     coverage table per support tuple, so the per-round cost is O(ν)
+     array probes instead of O(ν·k) Tuple.covers scans. *)
+  let tp_probs = Array.map (fun (_, p) -> Q.to_float p) tp in
+  let cover =
+    Array.map
+      (fun (t, _) ->
+        let c = Array.make (Graph.n g) false in
+        List.iter (fun v -> c.(v) <- true) (Defender.Tuple.vertices g t);
+        c)
+      tp
+  in
+  let sample_tuple_index () =
+    let target = Rng.float rng in
+    let last = Array.length tp - 1 in
+    let rec scan j acc =
+      if j = last then j
+      else
+        let acc = acc +. tp_probs.(j) in
+        if target < acc then j else scan (j + 1) acc
+    in
+    scan 0 0.0
+  in
   let per_player_escapes = Array.make nu 0 in
   let total = ref 0 and total_sq = ref 0 in
   let choices = Array.make nu 0 in
@@ -50,21 +62,29 @@ let play ?record rng profile ~rounds =
     for i = 0 to nu - 1 do
       choices.(i) <- Dist.Finite.sample rng strategies.(i)
     done;
-    let tuple = sample_tuple rng tp_strategy in
+    let j = sample_tuple_index () in
+    let covered = cover.(j) in
     let caught = ref 0 in
     for i = 0 to nu - 1 do
-      if Defender.Tuple.covers g tuple choices.(i) then incr caught
+      if covered.(choices.(i)) then incr caught
       else per_player_escapes.(i) <- per_player_escapes.(i) + 1
     done;
     total := !total + !caught;
     total_sq := !total_sq + (!caught * !caught);
     match record with
-    | Some f -> f { index; choices = Array.copy choices; tuple; caught = !caught }
+    | Some f ->
+        f { index; choices = Array.copy choices; tuple = fst tp.(j); caught = !caught }
     | None -> ()
   done;
   let n = float_of_int rounds in
   let mean = float_of_int !total /. n in
-  let variance = (float_of_int !total_sq /. n) -. (mean *. mean) in
+  (* Sample (n−1) variance estimator; the population estimator understates
+     sigma and would silently tighten the T7 acceptance band. *)
+  let variance =
+    if rounds > 1 then
+      (float_of_int !total_sq -. (n *. mean *. mean)) /. (n -. 1.0)
+    else 0.0
+  in
   {
     rounds;
     total_caught = !total;
@@ -73,7 +93,7 @@ let play ?record rng profile ~rounds =
     per_player_escapes;
   }
 
-let agrees_with_analytic ?(z = 4.0) stats profile =
-  let exact = Q.to_float (Defender.Profit.expected_tp profile) in
+let agrees_with_analytic ?(z = 4.0) ?naive stats profile =
+  let exact = Q.to_float (Defender.Profit.expected_tp ?naive profile) in
   let half_width = z *. stats.stddev_caught /. sqrt (float_of_int stats.rounds) in
   abs_float (stats.mean_caught -. exact) <= half_width +. 1e-9

@@ -15,7 +15,7 @@ type stats = {
   rounds : int;
   total_caught : int;
   mean_caught : float;           (** empirical defender gain per round *)
-  stddev_caught : float;
+  stddev_caught : float;         (** sample (n−1) estimator; 0 for one round *)
   per_player_escapes : int array;  (** rounds escaped, per attacker *)
 }
 
@@ -35,5 +35,7 @@ val play :
     [z] standard errors (default 4, a ~1-in-16000 false-alarm band chosen
     so batched regression runs stay deterministic-green) of the exact
     expectation, plus an absolute slack of 1e-9 for degenerate
-    zero-variance cases. *)
-val agrees_with_analytic : ?z:float -> stats -> Defender.Profile.mixed -> bool
+    zero-variance cases.  [~naive:true] computes the exact expectation on
+    the support-rescanning oracle instead of the payoff kernel. *)
+val agrees_with_analytic :
+  ?z:float -> ?naive:bool -> stats -> Defender.Profile.mixed -> bool

@@ -33,12 +33,17 @@ let exact_response g k (load : int array) =
   |> Option.get |> fst
 
 let greedy_response g k (load : int array) =
-  let chosen = Array.make (Graph.m g) false in
+  let m = Graph.m g in
+  if k < 1 || k > m then
+    invalid_arg
+      (Printf.sprintf "Fictitious.greedy_response: k = %d outside [1, m = %d]"
+         k m);
+  let chosen = Array.make m false in
   let covered = Array.make (Graph.n g) false in
   let picks = ref [] in
   for _ = 1 to k do
     let best = ref (-1) and best_gain = ref (-1) in
-    for id = 0 to Graph.m g - 1 do
+    for id = 0 to m - 1 do
       if not chosen.(id) then begin
         let e = Graph.edge g id in
         let gain =
@@ -51,15 +56,27 @@ let greedy_response g k (load : int array) =
         end
       end
     done;
-    chosen.(!best) <- true;
-    let e = Graph.edge g !best in
+    (* Guard: if no pick beat the sentinel (possible when a caller hands
+       in degenerate, e.g. negative, loads), fall back to the lowest-id
+       remaining edge instead of indexing with -1.  The k <= m guard
+       above ensures a remaining edge exists. *)
+    let pick =
+      if !best >= 0 then !best
+      else begin
+        let id = ref 0 in
+        while chosen.(!id) do incr id done;
+        !id
+      end
+    in
+    chosen.(pick) <- true;
+    let e = Graph.edge g pick in
     covered.(e.Graph.u) <- true;
     covered.(e.Graph.v) <- true;
-    picks := !best :: !picks
+    picks := pick :: !picks
   done;
   Defender.Tuple.of_list g !picks
 
-let run rng model ~rounds =
+let run ?(naive = false) rng model ~rounds =
   if rounds < 2 then invalid_arg "Fictitious.run: need at least two rounds";
   let g = Defender.Model.graph model in
   let nu = Defender.Model.nu model in
@@ -70,6 +87,12 @@ let run rng model ~rounds =
   let attack_count = Array.make n 0 in
   let scan_count = Array.make (Graph.m g) 0 in
   let gain_series = Array.make rounds 0.0 in
+  (* Full play history, needed by the naive path which re-derives the
+     empirical tables from scratch every round (the analogue of the
+     support re-scan in naive Profile.hit_prob); the default path keeps
+     the tables incrementally and never reads the history. *)
+  let tuple_history = Array.make rounds None in
+  let choice_history = Array.make_matrix rounds nu 0 in
   let total = ref 0 and tail_total = ref 0 in
   let attacker_choice () =
     (* least-scanned vertex, ties broken uniformly *)
@@ -83,15 +106,36 @@ let run rng model ~rounds =
     done;
     Rng.choose rng (Array.of_list !best)
   in
+  let recompute_from_history r =
+    for v = 0 to n - 1 do
+      let c = ref 0 in
+      for s = 0 to r - 1 do
+        match tuple_history.(s) with
+        | Some t -> if Defender.Tuple.covers g t v then incr c
+        | None -> ()
+      done;
+      hit_count.(v) <- !c
+    done;
+    Array.fill attack_count 0 n 0;
+    for s = 0 to r - 1 do
+      for i = 0 to nu - 1 do
+        let v = choice_history.(s).(i) in
+        attack_count.(v) <- attack_count.(v) + 1
+      done
+    done
+  in
   let choices = Array.make nu 0 in
   for r = 0 to rounds - 1 do
+    if naive then recompute_from_history r;
     for i = 0 to nu - 1 do
-      choices.(i) <- attacker_choice ()
+      choices.(i) <- attacker_choice ();
+      choice_history.(r).(i) <- choices.(i)
     done;
     let tuple =
       if exact_ok then exact_response g k attack_count
       else greedy_response g k attack_count
     in
+    tuple_history.(r) <- Some tuple;
     let covered = Defender.Tuple.vertices g tuple in
     let caught = ref 0 in
     for i = 0 to nu - 1 do

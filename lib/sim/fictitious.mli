@@ -21,5 +21,23 @@ type result = {
   gain_series : float array;  (** prefix-averaged gain, for convergence plots *)
 }
 
-(** @raise Invalid_argument if [rounds < 2]. *)
-val run : Prng.Rng.t -> Defender.Model.t -> rounds:int -> result
+(** [run rng model ~rounds] plays the learning dynamics.
+
+    The empirical tables (per-vertex scan hits and attack counts) are
+    maintained {e incrementally} across rounds — the integer analogue of
+    the {!Defender.Payoff_kernel} tables.  [~naive:true] instead
+    re-derives both tables from the full play history at the start of
+    every round (the per-query support re-scan of the naive payoff path);
+    the two modes are bit-for-bit identical in output and are compared by
+    the kernel microbenchmarks and equality tests.
+    @raise Invalid_argument if [rounds < 2]. *)
+val run : ?naive:bool -> Prng.Rng.t -> Defender.Model.t -> rounds:int -> result
+
+(** Greedy max-coverage defender response to integer attack loads: k
+    passes picking the edge with the best marginal covered load.  Total
+    ties below the sentinel fall back to the lowest-id remaining edge
+    rather than crashing (regression: the unguarded loop indexed edge -1
+    on degenerate loads).
+    @raise Invalid_argument if [k] is outside [1, m]. *)
+val greedy_response :
+  Netgraph.Graph.t -> int -> int array -> Defender.Tuple.t

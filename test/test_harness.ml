@@ -67,10 +67,16 @@ let test_mean_stddev () =
   Alcotest.(check (float 1e-9)) "mean" 2.0 (Harness.Stats.mean [ 1.0; 2.0; 3.0 ]);
   Alcotest.(check (float 1e-9)) "stddev of constant" 0.0
     (Harness.Stats.stddev [ 5.0; 5.0; 5.0 ]);
-  Alcotest.(check (float 1e-9)) "stddev" (sqrt (2.0 /. 3.0))
+  (* sample (n-1) estimator: variance of [1;2;3] is 2/2 = 1 *)
+  Alcotest.(check (float 1e-9)) "stddev" 1.0
     (Harness.Stats.stddev [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "stddev of singleton" 0.0
+    (Harness.Stats.stddev [ 42.0 ]);
   Alcotest.check_raises "mean of []" (Invalid_argument "Stats.mean: empty list")
-    (fun () -> ignore (Harness.Stats.mean []))
+    (fun () -> ignore (Harness.Stats.mean []));
+  Alcotest.check_raises "stddev of []"
+    (Invalid_argument "Stats.stddev: empty list") (fun () ->
+      ignore (Harness.Stats.stddev []))
 
 let test_linear_fit_exact () =
   let fit = Harness.Stats.linear_fit [ (1.0, 3.0); (2.0, 5.0); (3.0, 7.0) ] in
