@@ -1,31 +1,78 @@
-(* Benchmark harness entry point: regenerates every experiment of
-   EXPERIMENTS.md (tables T1-T7 and ablation A1, figures F1-F4, Bechamel
-   microbenchmarks B1-B12).
+(* Benchmark harness entry point: a generic driver over the experiment
+   registry (tables T1-T12 + ablations A1-A2, figures F1-F6, Bechamel
+   microbenchmarks B0-B12).
 
-     dune exec bench/main.exe            # everything
-     dune exec bench/main.exe -- tables  # only the tables
-     dune exec bench/main.exe -- figures # only the figures
-     dune exec bench/main.exe -- micro   # only the microbenchmarks
-     dune exec bench/main.exe -- smoke   # reduced-size kernel checks
-                                         # (runs under `dune runtest`)
-*)
+     dune exec bench/main.exe                       # everything, full scale
+     dune exec bench/main.exe -- tables             # legacy group selectors
+     dune exec bench/main.exe -- figures            #   (tables|figures|micro
+     dune exec bench/main.exe -- micro              #    |smoke|all)
+     dune exec bench/main.exe -- smoke              # reduced-size sweep of the
+                                                    # whole registry (runs
+                                                    # under `dune runtest`)
+     dune exec bench/main.exe -- --list             # registered experiments
+     dune exec bench/main.exe -- --only T4,F2       # just those experiments
+     dune exec bench/main.exe -- --json BENCH_2.json  # write the JSON artifact
+
+   Exits 0 when every selected experiment passes, 1 if any verdict is
+   degraded (--force-degrade ID[,ID..] forces that path for testing),
+   2 on usage errors. *)
+
+module Runner = Experiments.Runner
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [tables|figures|micro|smoke|all] [--smoke] [--list]\n\
+    \       [--only ID[,ID..]] [--json FILE] [--force-degrade ID[,ID..]] \
+     [--quiet]"
+
+let split_ids s = String.split_on_char ',' s |> List.filter (fun x -> x <> "")
 
 let () =
-  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
-  Printf.printf
-    "Reproduction harness: \"The Power of the Defender\" (ICDCS 2006)\n\
-     ================================================================\n\n";
-  (match what with
-  | "tables" -> Exp_tables.run_all ()
-  | "figures" -> Exp_figures.run_all ()
-  | "micro" -> Micro.run_all ()
-  | "smoke" -> Micro.smoke ()
-  | "all" ->
-      Exp_tables.run_all ();
-      Exp_figures.run_all ();
-      Micro.run_all ()
-  | other ->
-      Printf.eprintf "unknown selector %S (use tables|figures|micro|smoke|all)\n"
-        other;
-      exit 2);
-  print_endline "done."
+  let opts = ref Runner.default_opts in
+  let list_only = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--list" :: rest ->
+        list_only := true;
+        parse rest
+    | "--smoke" :: rest ->
+        opts := { !opts with Runner.scale = Harness.Experiment.Smoke };
+        parse rest
+    | "--quiet" :: rest ->
+        opts := { !opts with Runner.echo = false };
+        parse rest
+    | "--only" :: ids :: rest ->
+        opts := { !opts with Runner.only = split_ids ids };
+        parse rest
+    | "--json" :: path :: rest ->
+        opts := { !opts with Runner.json_out = Some path };
+        parse rest
+    | "--force-degrade" :: ids :: rest ->
+        opts := { !opts with Runner.force_degrade = split_ids ids };
+        parse rest
+    | [ ("--only" | "--json" | "--force-degrade") ] | "--help" :: _ | "-h" :: _
+      ->
+        usage ();
+        exit 2
+    | sel :: rest when Runner.group_prefixes sel <> None ->
+        let scale =
+          if sel = "smoke" then Harness.Experiment.Smoke else !opts.Runner.scale
+        in
+        opts := { !opts with Runner.group = sel; scale };
+        parse rest
+    | other :: _ ->
+        Printf.eprintf "unknown argument %S\n" other;
+        usage ();
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !list_only then print_string (Runner.list_text ())
+  else begin
+    if !opts.Runner.echo then
+      Printf.printf
+        "Reproduction harness: \"The Power of the Defender\" (ICDCS 2006)\n\
+         ================================================================\n\n";
+    let code = Runner.run !opts in
+    if !opts.Runner.echo && code = 0 then print_endline "done.";
+    exit code
+  end

@@ -1,0 +1,136 @@
+(* Driver logic shared by bench/main.exe and the CLI `experiments`
+   subcommand: registration, selection (legacy group selectors and
+   --only id lists), execution at either scale, JSON artifact emission
+   (with a parse round-trip so a malformed artifact can never be
+   written), and the exit-code policy (nonzero on any degraded
+   verdict). *)
+
+module E = Harness.Experiment
+module R = Harness.Registry
+
+let ensure_registered () =
+  if R.all () = [] then begin
+    Exp_tables.register ();
+    Exp_figures.register ();
+    Micro.register ()
+  end
+
+(* Legacy group selectors, mapped by id prefix: T*/A* are the table
+   experiments, F* the figures, B* the microbenchmarks. *)
+let group_prefixes = function
+  | "tables" -> Some [ "T"; "A" ]
+  | "figures" -> Some [ "F" ]
+  | "micro" -> Some [ "B" ]
+  | "all" | "smoke" -> Some []
+  | _ -> None
+
+let in_group prefixes (e : E.t) =
+  prefixes = []
+  || List.exists
+       (fun p -> String.length e.id >= 1 && String.sub e.id 0 1 = p)
+       prefixes
+
+let list_text () =
+  ensure_registered ();
+  let table =
+    Harness.Table.create ~title:"registered experiments"
+      ~columns:[ "id"; "tag"; "claim" ]
+  in
+  List.iter
+    (fun (e : E.t) ->
+      Harness.Table.add_row table [ e.id; E.tag_to_string e.tag; e.claim ])
+    (R.all ());
+  Harness.Table.to_string table
+
+type opts = {
+  scale : E.scale;
+  only : string list;  (** experiment ids; [[]] = no id filter *)
+  group : string;  (** legacy selector: tables|figures|micro|smoke|all *)
+  json_out : string option;
+  echo : bool;
+  force_degrade : string list;
+      (** ids whose verdict is forced to Degraded after the run — a
+          testing hook for the nonzero-exit path *)
+}
+
+let default_opts =
+  {
+    scale = E.Full;
+    only = [];
+    group = "all";
+    json_out = None;
+    echo = true;
+    force_degrade = [];
+  }
+
+(* Serialize, then parse what we are about to publish: an artifact that
+   does not round-trip is a bug worth failing loudly on. *)
+let render_json ~scale results =
+  let text = Harness.Json.to_string ~pretty:true (R.report_json ~scale results) in
+  match Harness.Json.of_string text with
+  | Ok _ -> Ok text
+  | Error e -> Error (Printf.sprintf "internal: JSON artifact does not parse: %s" e)
+
+(* Run the selected experiments; returns the process exit code. *)
+let run opts =
+  ensure_registered ();
+  let selected =
+    match
+      ( (if opts.only = [] then Ok (R.all ()) else R.select ~only:opts.only),
+        group_prefixes opts.group )
+    with
+    | Error e, _ ->
+        Printf.eprintf "error: %s\n" e;
+        None
+    | _, None ->
+        Printf.eprintf
+          "error: unknown selector %S (use tables|figures|micro|smoke|all)\n"
+          opts.group;
+        None
+    | Ok es, Some prefixes -> Some (List.filter (in_group prefixes) es)
+  in
+  match selected with
+  | None -> 2
+  | Some [] ->
+      Printf.eprintf "error: selection matched no experiments (try --list)\n";
+      2
+  | Some experiments -> (
+      let unknown_forced =
+        List.filter (fun id -> R.find id = None) opts.force_degrade
+      in
+      if unknown_forced <> [] then begin
+        Printf.eprintf "error: --force-degrade: unknown experiment id(s): %s\n"
+          (String.concat ", " unknown_forced);
+        2
+      end
+      else
+        let echo = if opts.echo then print_string else fun _ -> () in
+        let results = R.run ~scale:opts.scale ~echo experiments in
+        let results =
+          if opts.force_degrade = [] then results
+          else
+            List.map
+              (fun (r : E.result) ->
+                if List.mem r.id opts.force_degrade then
+                  E.degrade ~reason:"forced via --force-degrade (driver test hook)" r
+                else r)
+              results
+        in
+        match render_json ~scale:opts.scale results with
+        | Error e ->
+            Printf.eprintf "%s\n" e;
+            3
+        | Ok json_text ->
+            (match opts.json_out with
+            | None -> ()
+            | Some path ->
+                let oc = open_out path in
+                output_string oc json_text;
+                output_char oc '\n';
+                close_out oc;
+                if opts.echo then
+                  Printf.printf "wrote %s (%d experiments)\n\n" path
+                    (List.length results));
+            if opts.echo then print_string (R.summary_table results);
+            let s = R.summarize results in
+            if s.R.degraded > 0 then 1 else 0)

@@ -13,51 +13,20 @@
      paths     pure-NE thresholds for the path-constrained defender
      fp        fictitious-play learning dynamics
      census    enumerate symmetric equilibria of a tiny instance
+     experiments  run registered EXPERIMENTS.md experiments (same
+                  registry as bench/main.exe; JSON artifacts)
 
    Graphs are specified either with --file (edge-list format) or --family
-   using a compact spec: path:6, cycle:8, star:5, complete:4, kbip:3x4,
-   grid:3x4, hypercube:3, wheel:6, petersen, barbell:4:2, lollipop:4:3,
-   caterpillar:4:2, multipartite:2:2:2, tree:12, gnp:20:0.1,
-   bipartite:5x7:0.2, regular:10:4, enterprise:4:20:2. *)
+   using a compact spec (see Netgraph.Family): path:6, cycle:8, star:5,
+   complete:4, kbip:3x4, grid:3x4, hypercube:3, wheel:6, petersen,
+   barbell:4:2, lollipop:4:3, caterpillar:4:2, multipartite:2:2:2,
+   tree:12, gnp:20:0.1, bipartite:5x7:0.2, regular:10:4,
+   enterprise:4:20:2. *)
 
 open Cmdliner
 
 let parse_family spec seed =
-  let rng = Prng.Rng.create seed in
-  let fail () =
-    raise (Invalid_argument (Printf.sprintf "unrecognized family spec %S" spec))
-  in
-  let int s = match int_of_string_opt s with Some v -> v | None -> fail () in
-  let flt s = match float_of_string_opt s with Some v -> v | None -> fail () in
-  match String.split_on_char ':' spec with
-  | [ "path"; n ] -> Netgraph.Gen.path (int n)
-  | [ "cycle"; n ] -> Netgraph.Gen.cycle (int n)
-  | [ "star"; n ] -> Netgraph.Gen.star (int n)
-  | [ "complete"; n ] -> Netgraph.Gen.complete (int n)
-  | [ "hypercube"; d ] -> Netgraph.Gen.hypercube (int d)
-  | [ "wheel"; n ] -> Netgraph.Gen.wheel (int n)
-  | [ "petersen" ] -> Netgraph.Gen.petersen ()
-  | [ "barbell"; a; bridge ] -> Netgraph.Gen.barbell (int a) ~bridge:(int bridge)
-  | [ "lollipop"; a; tail ] -> Netgraph.Gen.lollipop (int a) ~tail:(int tail)
-  | [ "caterpillar"; spine; legs ] ->
-      Netgraph.Gen.caterpillar ~spine:(int spine) ~legs:(int legs)
-  | "multipartite" :: parts -> Netgraph.Gen.complete_multipartite (List.map int parts)
-  | [ "tree"; n ] -> Netgraph.Gen.random_tree rng ~n:(int n)
-  | [ "gnp"; n; p ] -> Netgraph.Gen.gnp_connected rng ~n:(int n) ~p:(flt p)
-  | [ "regular"; n; d ] -> Netgraph.Gen.random_regular rng ~n:(int n) ~d:(int d)
-  | [ "enterprise"; c; l; u ] ->
-      Netgraph.Gen.enterprise rng ~core:(int c) ~leaves:(int l) ~uplinks:(int u)
-  | [ "kbip"; dims ] | [ "grid"; dims ] | [ "bipartite"; dims ] -> (
-      match String.split_on_char 'x' dims with
-      | [ a; b ] when String.length spec >= 4 && String.sub spec 0 4 = "kbip" ->
-          Netgraph.Gen.complete_bipartite (int a) (int b)
-      | [ a; b ] -> Netgraph.Gen.grid (int a) (int b)
-      | _ -> fail ())
-  | [ "bipartite"; dims; p ] -> (
-      match String.split_on_char 'x' dims with
-      | [ a; b ] -> Netgraph.Gen.random_bipartite rng ~a:(int a) ~b:(int b) ~p:(flt p)
-      | _ -> fail ())
-  | _ -> fail ()
+  Netgraph.Family.parse ~rng:(Prng.Rng.create seed) spec
 
 let load_graph file family seed =
   match (file, family) with
@@ -397,6 +366,61 @@ let dynamics_cmd =
     Term.(
       ret (const run $ file_arg $ family_arg $ seed_arg $ nu_arg $ k_arg $ steps_arg))
 
+(* experiments: drive the shared registry (same set as bench/main.exe) *)
+let experiments_cmd =
+  let list_arg =
+    Arg.(value & flag & info [ "list" ] ~doc:"List registered experiments and exit.")
+  in
+  let only_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "only" ] ~docv:"IDS"
+          ~doc:"Comma-separated experiment ids to run, e.g. T4,F2.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Write the JSON artifact to FILE.")
+  in
+  let smoke_arg =
+    Arg.(
+      value & flag
+      & info [ "smoke" ] ~doc:"Reduced-size sweep (same seeds, smaller instances).")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress the text rendering.")
+  in
+  let run list only json smoke quiet =
+    if list then `Ok (print_string (Experiments.Runner.list_text ()))
+    else
+      let opts =
+        {
+          Experiments.Runner.default_opts with
+          Experiments.Runner.scale =
+            (if smoke then Harness.Experiment.Smoke else Harness.Experiment.Full);
+          only =
+            (match only with
+            | None -> []
+            | Some ids ->
+                String.split_on_char ',' ids |> List.filter (fun x -> x <> ""));
+          json_out = json;
+          echo = not quiet;
+        }
+      in
+      match Experiments.Runner.run opts with
+      | 0 -> `Ok ()
+      | 1 -> `Error (false, "one or more experiments degraded")
+      | _ -> `Error (false, "experiment selection failed")
+  in
+  Cmd.v
+    (Cmd.info "experiments"
+       ~doc:
+         "Run the registered reproduction experiments (tables, figures, \
+          microbenchmarks) and optionally emit the JSON artifact.")
+    Term.(ret (const run $ list_arg $ only_arg $ json_arg $ smoke_arg $ quiet_arg))
+
 let () =
   let info =
     Cmd.info "defender-cli" ~version:"1.0.0"
@@ -417,4 +441,5 @@ let () =
             paths_cmd;
             fp_cmd;
             census_cmd;
+            experiments_cmd;
           ]))

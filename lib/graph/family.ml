@@ -1,0 +1,50 @@
+let parse ~rng spec =
+  let fail () =
+    raise (Invalid_argument (Printf.sprintf "unrecognized family spec %S" spec))
+  in
+  let int s = match int_of_string_opt s with Some v -> v | None -> fail () in
+  let flt s = match float_of_string_opt s with Some v -> v | None -> fail () in
+  let dims s =
+    match String.split_on_char 'x' s with
+    | [ a; b ] -> (int a, int b)
+    | _ -> fail ()
+  in
+  match String.split_on_char ':' spec with
+  | [ "path"; n ] -> Gen.path (int n)
+  | [ "cycle"; n ] -> Gen.cycle (int n)
+  | [ "star"; n ] -> Gen.star (int n)
+  | [ "complete"; n ] -> Gen.complete (int n)
+  | [ "hypercube"; d ] -> Gen.hypercube (int d)
+  | [ "wheel"; n ] -> Gen.wheel (int n)
+  | [ "petersen" ] -> Gen.petersen ()
+  | [ "barbell"; a; bridge ] -> Gen.barbell (int a) ~bridge:(int bridge)
+  | [ "lollipop"; a; tail ] -> Gen.lollipop (int a) ~tail:(int tail)
+  | [ "caterpillar"; spine; legs ] ->
+      Gen.caterpillar ~spine:(int spine) ~legs:(int legs)
+  | "multipartite" :: (_ :: _ as parts) ->
+      Gen.complete_multipartite (List.map int parts)
+  | [ "tree"; n ] -> Gen.random_tree rng ~n:(int n)
+  | [ "gnp"; n; p ] -> Gen.gnp_connected rng ~n:(int n) ~p:(flt p)
+  | [ "regular"; n; d ] -> Gen.random_regular rng ~n:(int n) ~d:(int d)
+  | [ "enterprise"; c; l; u ] ->
+      Gen.enterprise rng ~core:(int c) ~leaves:(int l) ~uplinks:(int u)
+  | [ "kbip"; d ] ->
+      let a, b = dims d in
+      Gen.complete_bipartite a b
+  | [ "grid"; d ] ->
+      let a, b = dims d in
+      Gen.grid a b
+  | [ "bipartite"; d; p ] ->
+      let a, b = dims d in
+      Gen.random_bipartite rng ~a ~b ~p:(flt p)
+  | [ "bipartite"; d ] ->
+      (* Without a probability this used to fall through to the grid
+         branch and silently build the wrong graph. *)
+      let _ = dims d in
+      raise
+        (Invalid_argument
+           (Printf.sprintf
+              "family spec %S: random bipartite needs an edge probability \
+               (bipartite:AxB:P); for the complete bipartite graph use kbip:AxB"
+              spec))
+  | _ -> fail ()

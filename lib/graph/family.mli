@@ -1,0 +1,17 @@
+(** Compact graph-family specs ("grid:3x4", "gnp:20:0.1", ...) shared by
+    the CLI and tooling.
+
+    Known specs: path:N, cycle:N, star:N, complete:N, kbip:AxB,
+    grid:AxB, hypercube:D, wheel:N, petersen, barbell:A:BRIDGE,
+    lollipop:A:TAIL, caterpillar:SPINE:LEGS, multipartite:N1:N2:...,
+    tree:N, gnp:N:P, bipartite:AxB:P, regular:N:D,
+    enterprise:CORE:LEAVES:UPLINKS.
+
+    Note that [bipartite:AxB] {e requires} the edge probability
+    ([bipartite:AxB:P]); the complete bipartite graph is [kbip:AxB].
+    Omitting it is an explicit error (it used to silently build a
+    grid). *)
+
+(** Parse a spec; [rng] drives the randomized families.
+    @raise Invalid_argument on an unrecognized or incomplete spec. *)
+val parse : rng:Prng.Rng.t -> string -> Graph.t

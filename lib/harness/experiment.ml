@@ -1,0 +1,177 @@
+type tag = Table | Figure | Micro | Extension
+type scale = Smoke | Full
+type verdict = Pass | Info | Degraded
+
+type value =
+  | Int of int
+  | Rat of Exact.Q.t
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+type timing = Timer.stats = {
+  median : float;
+  min : float;
+  max : float;
+  runs : int;
+}
+
+type ctx = {
+  ctx_scale : scale;
+  buf : Buffer.t;
+  mutable checks_total : int;
+  mutable checks_failed : int;
+  mutable failed_rev : string list;
+  mutable measures_rev : (string * value) list;
+  mutable timings_rev : (string * timing) list;
+}
+
+let scale ctx = ctx.ctx_scale
+let is_smoke ctx = ctx.ctx_scale = Smoke
+let out ctx s = Buffer.add_string ctx.buf s
+let outf ctx fmt = Printf.ksprintf (out ctx) fmt
+
+let check ctx ~label ok =
+  ctx.checks_total <- ctx.checks_total + 1;
+  if not ok then begin
+    ctx.checks_failed <- ctx.checks_failed + 1;
+    ctx.failed_rev <- label :: ctx.failed_rev
+  end;
+  ok
+
+let measure ctx name v =
+  ctx.measures_rev <- (name, v) :: List.remove_assoc name ctx.measures_rev
+
+let record_timing ctx name t =
+  ctx.timings_rev <- (name, t) :: List.remove_assoc name ctx.timings_rev
+
+let time ctx name ?repeat f =
+  let result = ref None in
+  let stats =
+    Timer.time_stats ?repeat (fun () -> result := Some (f ()))
+  in
+  record_timing ctx name stats;
+  match !result with Some r -> r | None -> assert false
+
+type t = {
+  id : string;
+  claim : string;
+  expected : string;
+  tag : tag;
+  run : ctx -> unit;
+}
+
+type result = {
+  id : string;
+  claim : string;
+  expected : string;
+  tag : tag;
+  verdict : verdict;
+  checks_total : int;
+  checks_failed : int;
+  failed_labels : string list;
+  measures : (string * value) list;
+  timings : (string * timing) list;
+  text : string;
+  wall : float;
+}
+
+let run ?(scale = Full) (t : t) =
+  let ctx =
+    {
+      ctx_scale = scale;
+      buf = Buffer.create 1024;
+      checks_total = 0;
+      checks_failed = 0;
+      failed_rev = [];
+      measures_rev = [];
+      timings_rev = [];
+    }
+  in
+  let start = Unix.gettimeofday () in
+  (try t.run ctx
+   with exn ->
+     let msg = Printf.sprintf "exception: %s" (Printexc.to_string exn) in
+     ignore (check ctx ~label:msg false);
+     outf ctx "EXPERIMENT %s RAISED: %s\n" t.id (Printexc.to_string exn));
+  let wall = Unix.gettimeofday () -. start in
+  let verdict =
+    if ctx.checks_failed > 0 then Degraded
+    else if ctx.checks_total = 0 then Info
+    else Pass
+  in
+  {
+    id = t.id;
+    claim = t.claim;
+    expected = t.expected;
+    tag = t.tag;
+    verdict;
+    checks_total = ctx.checks_total;
+    checks_failed = ctx.checks_failed;
+    failed_labels = List.rev ctx.failed_rev;
+    measures = List.rev ctx.measures_rev;
+    timings = List.rev ctx.timings_rev;
+    text = Buffer.contents ctx.buf;
+    wall;
+  }
+
+let degrade ~reason r =
+  {
+    r with
+    verdict = Degraded;
+    checks_total = r.checks_total + 1;
+    checks_failed = r.checks_failed + 1;
+    failed_labels = r.failed_labels @ [ reason ];
+  }
+
+let tag_to_string = function
+  | Table -> "table"
+  | Figure -> "figure"
+  | Micro -> "micro"
+  | Extension -> "extension"
+
+let verdict_to_string = function
+  | Pass -> "pass"
+  | Info -> "info"
+  | Degraded -> "degraded"
+
+let scale_to_string = function Smoke -> "smoke" | Full -> "full"
+
+let value_to_json = function
+  | Int i -> Json.Int i
+  | Rat q -> Json.String (Exact.Q.to_string q)
+  | Float f -> Json.Float f
+  | Str s -> Json.String s
+  | Bool b -> Json.Bool b
+
+let timing_to_json (t : timing) =
+  Json.Obj
+    [
+      ("median_s", Json.Float t.median);
+      ("min_s", Json.Float t.min);
+      ("max_s", Json.Float t.max);
+      ("runs", Json.Int t.runs);
+    ]
+
+let result_to_json (r : result) =
+  Json.Obj
+    [
+      ("id", Json.String r.id);
+      ("tag", Json.String (tag_to_string r.tag));
+      ("claim", Json.String r.claim);
+      ("expected", Json.String r.expected);
+      ("verdict", Json.String (verdict_to_string r.verdict));
+      ( "checks",
+        Json.Obj
+          [
+            ("total", Json.Int r.checks_total);
+            ("failed", Json.Int r.checks_failed);
+            ( "failed_labels",
+              Json.List (List.map (fun l -> Json.String l) r.failed_labels) );
+          ] );
+      ( "measures",
+        Json.Obj (List.map (fun (k, v) -> (k, value_to_json v)) r.measures) );
+      ( "timings",
+        Json.Obj (List.map (fun (k, t) -> (k, timing_to_json t)) r.timings) );
+      ("wall_s", Json.Float r.wall);
+    ]

@@ -1,0 +1,110 @@
+(** Typed experiment descriptors with structured results.
+
+    Every experiment of EXPERIMENTS.md (tables T1–T12, ablations A1–A2,
+    figures F1–F6, microbenchmarks B0–B12) is a first-class value: an id,
+    the paper claim it regenerates, the expected outcome, a tag, and a
+    run function.  Running one produces a {!result} that carries the
+    legacy text rendering {e and} machine-readable data — check
+    counters, typed measured values (exact rationals included), and
+    timing cells with spread — so "44/44 rows agree" is data an external
+    tool can diff, not prose.  {!Registry} collects descriptors and
+    rolls results up into the [BENCH_*.json] artifacts. *)
+
+type tag = Table | Figure | Micro | Extension
+
+(** [Smoke] runs a reduced-size variant (fewer samples/rounds/sizes,
+    same seeds) suitable for [dune runtest]; [Full] regenerates the
+    published numbers. *)
+type scale = Smoke | Full
+
+(** Derived from the check counters: [Pass] when every recorded check
+    held, [Degraded] when at least one failed (or the run raised),
+    [Info] when the experiment records no checks (timing-only
+    microbenchmarks). *)
+type verdict = Pass | Info | Degraded
+
+(** A measured value.  Rationals stay exact ([Exact.Q.t]); they are
+    rendered to JSON as strings like ["8/3"]. *)
+type value =
+  | Int of int
+  | Rat of Exact.Q.t
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+type timing = Timer.stats = {
+  median : float;
+  min : float;
+  max : float;
+  runs : int;
+}
+
+(** The mutable context threaded through a run: accumulates text output,
+    checks, measures and timings. *)
+type ctx
+
+val scale : ctx -> scale
+val is_smoke : ctx -> bool
+
+(** Append to the experiment's text rendering (the driver echoes it, so
+    full-scale table output stays byte-compatible with the historical
+    [Table.print]-based harness). *)
+val out : ctx -> string -> unit
+
+val outf : ctx -> ('a, unit, string, unit) format4 -> 'a
+
+(** [check ctx ~label ok] records one pass/fail check and returns [ok]
+    (so table rows can render the same boolean).  Labels of failed
+    checks are kept in the result for diagnostics. *)
+val check : ctx -> label:string -> bool -> bool
+
+(** Record a named measured value.  Re-measuring a name overwrites. *)
+val measure : ctx -> string -> value -> unit
+
+(** [time ctx name ?repeat f] times [f] with {!Timer.time_stats},
+    records the timing cell under [name], and returns [f ()]'s result. *)
+val time : ctx -> string -> ?repeat:int -> (unit -> 'a) -> 'a
+
+(** Record an externally produced timing cell (e.g. from a figure's own
+    sweep). *)
+val record_timing : ctx -> string -> timing -> unit
+
+type t = {
+  id : string;  (** "T6", "F2", "B7", ... — unique within a registry *)
+  claim : string;  (** the paper claim (or extension) being regenerated *)
+  expected : string;  (** what outcome reproduces the claim *)
+  tag : tag;
+  run : ctx -> unit;
+}
+
+type result = {
+  id : string;
+  claim : string;
+  expected : string;
+  tag : tag;
+  verdict : verdict;
+  checks_total : int;
+  checks_failed : int;
+  failed_labels : string list;  (** labels of failed checks, run order *)
+  measures : (string * value) list;  (** insertion order *)
+  timings : (string * timing) list;  (** insertion order *)
+  text : string;  (** the legacy text rendering *)
+  wall : float;  (** whole-experiment wall clock, seconds *)
+}
+
+(** Execute the experiment (default scale [Full]).  A raised exception
+    is captured as a failed check, so a crashing experiment yields a
+    [Degraded] result instead of killing the sweep. *)
+val run : ?scale:scale -> t -> result
+
+(** Force a result's verdict to [Degraded] (testing/CI hook for
+    exercising the driver's nonzero-exit path). *)
+val degrade : reason:string -> result -> result
+
+(** One JSON object per result: id, claim, expected, tag, verdict,
+    check counts, measures, timings, wall time. *)
+val result_to_json : result -> Json.t
+
+val tag_to_string : tag -> string
+val verdict_to_string : verdict -> string
+val scale_to_string : scale -> string

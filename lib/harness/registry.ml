@@ -1,0 +1,121 @@
+let experiments : Experiment.t list ref = ref [] (* reversed *)
+
+let register (e : Experiment.t) =
+  if List.exists (fun (r : Experiment.t) -> r.id = e.id) !experiments then
+    invalid_arg (Printf.sprintf "Registry.register: duplicate experiment id %S" e.id);
+  experiments := e :: !experiments
+
+let clear () = experiments := []
+let all () = List.rev !experiments
+let ids () = List.map (fun (e : Experiment.t) -> e.id) (all ())
+
+let find id =
+  List.find_opt (fun (e : Experiment.t) -> e.id = id) !experiments
+
+let select ~only =
+  let unknown = List.filter (fun id -> find id = None) only in
+  if unknown <> [] then
+    Error
+      (Printf.sprintf "unknown experiment id(s): %s (try --list)"
+         (String.concat ", " unknown))
+  else
+    Ok
+      (List.filter
+         (fun (e : Experiment.t) -> List.mem e.id only)
+         (all ()))
+
+let filter_tag tag =
+  List.filter (fun (e : Experiment.t) -> e.tag = tag) (all ())
+
+type summary = {
+  total : int;
+  pass : int;
+  info : int;
+  degraded : int;
+  checks_total : int;
+  checks_failed : int;
+  wall : float;
+}
+
+let summarize (results : Experiment.result list) =
+  List.fold_left
+    (fun acc (r : Experiment.result) ->
+      {
+        total = acc.total + 1;
+        pass = acc.pass + (if r.verdict = Experiment.Pass then 1 else 0);
+        info = acc.info + (if r.verdict = Experiment.Info then 1 else 0);
+        degraded =
+          acc.degraded + (if r.verdict = Experiment.Degraded then 1 else 0);
+        checks_total = acc.checks_total + r.checks_total;
+        checks_failed = acc.checks_failed + r.checks_failed;
+        wall = acc.wall +. r.wall;
+      })
+    {
+      total = 0;
+      pass = 0;
+      info = 0;
+      degraded = 0;
+      checks_total = 0;
+      checks_failed = 0;
+      wall = 0.0;
+    }
+    results
+
+let summary_table (results : Experiment.result list) =
+  let table =
+    Table.create ~title:"experiment summary"
+      ~columns:[ "id"; "tag"; "verdict"; "checks"; "wall" ]
+  in
+  List.iter
+    (fun (r : Experiment.result) ->
+      Table.add_row table
+        [
+          r.id;
+          Experiment.tag_to_string r.tag;
+          Experiment.verdict_to_string r.verdict;
+          (if r.checks_total = 0 then "-"
+           else
+             Printf.sprintf "%d/%d" (r.checks_total - r.checks_failed)
+               r.checks_total);
+          Printf.sprintf "%.3fs" r.wall;
+        ])
+    results;
+  let s = summarize results in
+  Table.to_string table
+  ^ Printf.sprintf
+      "total: %d experiments (%d pass, %d info, %d degraded); checks %d/%d; \
+       %.2fs\n"
+      s.total s.pass s.info s.degraded
+      (s.checks_total - s.checks_failed)
+      s.checks_total s.wall
+
+let run ?(scale = Experiment.Full) ?(echo = fun _ -> ()) experiments =
+  List.map
+    (fun e ->
+      let r = Experiment.run ~scale e in
+      echo r.Experiment.text;
+      r)
+    experiments
+
+let report_json ~scale results =
+  let s = summarize results in
+  Json.Obj
+    [
+      ("schema", Json.String "defender-bench/v1");
+      ( "source",
+        Json.String
+          "The Power of the Defender (ICDCS 2006) reproduction harness" );
+      ("scale", Json.String (Experiment.scale_to_string scale));
+      ("experiments", Json.List (List.map Experiment.result_to_json results));
+      ( "summary",
+        Json.Obj
+          [
+            ("total", Json.Int s.total);
+            ("pass", Json.Int s.pass);
+            ("info", Json.Int s.info);
+            ("degraded", Json.Int s.degraded);
+            ("checks_total", Json.Int s.checks_total);
+            ("checks_failed", Json.Int s.checks_failed);
+            ("wall_s", Json.Float s.wall);
+          ] );
+    ]

@@ -1,0 +1,56 @@
+(** The experiment registry: registration, lookup, filtered execution
+    and summary roll-up.
+
+    A single process-global registry (the bench driver and the CLI both
+    register the same experiment set); tests that need isolation call
+    {!clear}.  Registration order is preserved everywhere — listings,
+    selection, execution and the JSON report all follow it. *)
+
+val register : Experiment.t -> unit
+(** @raise Invalid_argument on a duplicate id. *)
+
+val clear : unit -> unit
+(** Empty the registry (for tests). *)
+
+val all : unit -> Experiment.t list
+(** Registered experiments, in registration order. *)
+
+val ids : unit -> string list
+
+val find : string -> Experiment.t option
+
+val select : only:string list -> (Experiment.t list, string) result
+(** The registered experiments whose id is in [only], in registration
+    order; [Error] names the unknown ids if any. *)
+
+val filter_tag : Experiment.tag -> Experiment.t list
+
+type summary = {
+  total : int;
+  pass : int;
+  info : int;
+  degraded : int;
+  checks_total : int;
+  checks_failed : int;
+  wall : float;  (** summed experiment wall clock, seconds *)
+}
+
+val summarize : Experiment.result list -> summary
+
+val summary_table : Experiment.result list -> string
+(** Aligned per-experiment verdict/check/time table plus a totals line,
+    rendered through {!Table}. *)
+
+val run :
+  ?scale:Experiment.scale ->
+  ?echo:(string -> unit) ->
+  Experiment.t list ->
+  Experiment.result list
+(** Run the experiments in order.  [echo] (default: nothing) receives
+    each experiment's text rendering as soon as it completes, so the
+    driver can stream the legacy output. *)
+
+val report_json :
+  scale:Experiment.scale -> Experiment.result list -> Json.t
+(** The full artifact: schema header, one object per experiment (see
+    {!Experiment.result_to_json}) and the roll-up summary. *)

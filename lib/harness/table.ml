@@ -9,8 +9,13 @@ let create ~title ~columns =
 
 let add_row t cells =
   let width = Array.length t.columns in
+  let given = List.length cells in
+  if given > width then
+    invalid_arg
+      (Printf.sprintf "Table.add_row: %d cells for %d columns in table %S" given
+         width t.title);
   let row = Array.make width "" in
-  List.iteri (fun i cell -> if i < width then row.(i) <- cell) cells;
+  List.iteri (fun i cell -> row.(i) <- cell) cells;
   t.rows <- row :: t.rows
 
 let to_string t =

@@ -7,7 +7,10 @@ type t
 (** [create ~title ~columns] starts a table. *)
 val create : title:string -> columns:string list -> t
 
-(** Append a row; lengths are padded/truncated to the column count. *)
+(** Append a row; short rows are padded with empty cells.  A row with
+    {e more} cells than columns is a bug in the experiment, not a
+    formatting matter, so it raises [Invalid_argument] rather than
+    silently dropping data. *)
 val add_row : t -> string list -> unit
 
 (** Render with a title rule and aligned columns. *)

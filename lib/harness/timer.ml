@@ -3,8 +3,21 @@ let time f =
   let result = f () in
   (result, Unix.gettimeofday () -. start)
 
+type stats = { median : float; min : float; max : float; runs : int }
+
+let sorted_samples ~who ~repeat f =
+  if repeat < 1 then invalid_arg (who ^ ": repeat must be positive");
+  List.sort compare (List.init repeat (fun _ -> snd (time f)))
+
 let time_median ?(repeat = 5) f =
-  if repeat < 1 then invalid_arg "Timer.time_median: repeat must be positive";
-  let samples = List.init repeat (fun _ -> snd (time f)) in
-  let sorted = List.sort compare samples in
-  List.nth sorted (repeat / 2)
+  let samples = sorted_samples ~who:"Timer.time_median" ~repeat f in
+  List.nth samples (repeat / 2)
+
+let time_stats ?(repeat = 5) f =
+  let samples = sorted_samples ~who:"Timer.time_stats" ~repeat f in
+  {
+    median = List.nth samples (repeat / 2);
+    min = List.hd samples;
+    max = List.nth samples (repeat - 1);
+    runs = repeat;
+  }

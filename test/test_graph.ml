@@ -226,6 +226,47 @@ let test_props () =
     (Props.is_valid_instance (Graph.make ~n:3 [ (0, 1) ]));
   Alcotest.(check (float 1e-9)) "density of K4" 1.0 (Props.density (Gen.complete 4))
 
+(* Family specs *)
+
+let test_family_parse () =
+  let rng () = Prng.Rng.create 7 in
+  Alcotest.(check bool) "grid spec" true
+    (Graph.equal (Family.parse ~rng:(rng ()) "grid:3x4") (Gen.grid 3 4));
+  Alcotest.(check bool) "kbip spec" true
+    (Graph.equal
+       (Family.parse ~rng:(rng ()) "kbip:3x4")
+       (Gen.complete_bipartite 3 4));
+  Alcotest.(check bool) "petersen spec" true
+    (Graph.equal (Family.parse ~rng:(rng ()) "petersen") (Gen.petersen ()));
+  let b = Family.parse ~rng:(rng ()) "bipartite:5x7:0.4" in
+  Alcotest.(check int) "random bipartite n" 12 (Graph.n b);
+  Alcotest.(check bool) "random bipartite is bipartite" true
+    (Bipartite.coloring b <> None)
+
+let test_family_parse_errors () =
+  let parse spec = ignore (Family.parse ~rng:(Prng.Rng.create 7) spec) in
+  let raises spec check_msg =
+    match parse spec with
+    | () -> Alcotest.failf "%s: expected Invalid_argument" spec
+    | exception Invalid_argument msg ->
+        Alcotest.(check bool)
+          (spec ^ ": message mentions the problem")
+          true (check_msg msg)
+  in
+  let contains haystack needle =
+    let nl = String.length needle and hl = String.length haystack in
+    let rec scan i =
+      i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1))
+    in
+    scan 0
+  in
+  (* the old CLI parser silently built a grid for this spec *)
+  raises "bipartite:5x7" (fun m -> contains m "edge probability");
+  raises "bipartite:5x7" (fun m -> contains m "kbip");
+  raises "nonsense:3" (fun m -> contains m "unrecognized");
+  raises "grid:3" (fun m -> contains m "unrecognized");
+  raises "multipartite" (fun m -> contains m "unrecognized")
+
 (* Serialization *)
 
 let test_edge_list_roundtrip () =
@@ -327,6 +368,11 @@ let () =
           Alcotest.test_case "odd cycle validity" `Quick test_odd_cycle_is_real_cycle;
         ] );
       ("props", [ Alcotest.test_case "summary" `Quick test_props ]);
+      ( "family",
+        [
+          Alcotest.test_case "parse" `Quick test_family_parse;
+          Alcotest.test_case "parse errors" `Quick test_family_parse_errors;
+        ] );
       ( "io",
         [
           Alcotest.test_case "edge list roundtrip" `Quick test_edge_list_roundtrip;

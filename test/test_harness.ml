@@ -22,10 +22,12 @@ let test_table_rendering () =
 let test_table_row_padding () =
   let t = Harness.Table.create ~title:"pad" ~columns:[ "a"; "b"; "c" ] in
   Harness.Table.add_row t [ "only-one" ];
-  Harness.Table.add_row t [ "x"; "y"; "z"; "overflow-dropped" ];
   let s = Harness.Table.to_string t in
   Alcotest.(check bool) "short row padded" true (contains s "only-one");
-  Alcotest.(check bool) "overflow dropped" false (contains s "overflow-dropped")
+  (* overflow is a programming error, not data to silently drop *)
+  Alcotest.check_raises "overflow raises"
+    (Invalid_argument "Table.add_row: 4 cells for 3 columns in table \"pad\"")
+    (fun () -> Harness.Table.add_row t [ "x"; "y"; "z"; "overflow" ])
 
 let test_table_csv () =
   let t = Harness.Table.create ~title:"csv" ~columns:[ "a"; "b" ] in
