@@ -1,0 +1,89 @@
+(* Artifact gate for the @bench-smoke alias: re-parse a defender-bench/v1
+   JSON artifact through Harness.Json (the same parser external tools are
+   told to trust) and fail on schema drift or verdict degradation, so a
+   sweep that silently emits a malformed or failing artifact cannot pass
+   `dune runtest`.
+
+     check_artifact.exe FILE.json
+
+   Exit 0 when the artifact is well-formed, non-empty, and contains no
+   degraded verdict and no failed check; exit 1 with a diagnostic
+   otherwise. *)
+
+module J = Harness.Json
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("check_artifact: " ^ s); exit 1) fmt
+
+let member_exn key json ~ctx =
+  match J.member key json with
+  | Some v -> v
+  | None -> fail "%s: missing field %S" ctx key
+
+let as_int ~ctx = function
+  | J.Int n -> n
+  | _ -> fail "%s: expected an integer" ctx
+
+let as_string ~ctx = function
+  | J.String s -> s
+  | _ -> fail "%s: expected a string" ctx
+
+let () =
+  let file =
+    match Sys.argv with
+    | [| _; file |] -> file
+    | _ ->
+        prerr_endline "usage: check_artifact.exe FILE.json";
+        exit 2
+  in
+  let text =
+    let ic = open_in file in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let json =
+    match J.of_string text with
+    | Ok j -> j
+    | Error e -> fail "%s does not parse: %s" file e
+  in
+  let schema = as_string ~ctx:"schema" (member_exn "schema" json ~ctx:file) in
+  if schema <> "defender-bench/v1" then
+    fail "%s: unexpected schema %S (want \"defender-bench/v1\")" file schema;
+  ignore (as_string ~ctx:"scale" (member_exn "scale" json ~ctx:file));
+  let experiments =
+    match member_exn "experiments" json ~ctx:file with
+    | J.List [] -> fail "%s: empty experiment list" file
+    | J.List es -> es
+    | _ -> fail "%s: \"experiments\" is not a list" file
+  in
+  List.iter
+    (fun e ->
+      let id = as_string ~ctx:"experiment id" (member_exn "id" e ~ctx:file) in
+      let ctx = Printf.sprintf "%s: experiment %s" file id in
+      let verdict = as_string ~ctx (member_exn "verdict" e ~ctx) in
+      (match verdict with
+      | "pass" | "info" -> ()
+      | "degraded" -> fail "%s: degraded verdict" ctx
+      | other -> fail "%s: unknown verdict %S" ctx other);
+      let checks = member_exn "checks" e ~ctx in
+      let failed = as_int ~ctx (member_exn "failed" checks ~ctx) in
+      if failed > 0 then fail "%s: %d failed check(s)" ctx failed;
+      ignore (member_exn "measures" e ~ctx);
+      ignore (member_exn "wall_s" e ~ctx))
+    experiments;
+  let summary = member_exn "summary" json ~ctx:file in
+  let s_ctx = file ^ ": summary" in
+  let total = as_int ~ctx:s_ctx (member_exn "total" summary ~ctx:s_ctx) in
+  let degraded = as_int ~ctx:s_ctx (member_exn "degraded" summary ~ctx:s_ctx) in
+  let checks_failed =
+    as_int ~ctx:s_ctx (member_exn "checks_failed" summary ~ctx:s_ctx)
+  in
+  if total <> List.length experiments then
+    fail "%s: total %d <> %d listed experiments" s_ctx total
+      (List.length experiments);
+  if degraded <> 0 then fail "%s: %d degraded experiment(s)" s_ctx degraded;
+  if checks_failed <> 0 then fail "%s: %d failed check(s)" s_ctx checks_failed;
+  Printf.printf
+    "check_artifact: %s ok (%d experiments, schema defender-bench/v1, 0 \
+     degraded, 0 failed checks)\n"
+    file total

@@ -1,4 +1,4 @@
-(* B0-B12: microbenchmarks and kernel-correctness checks.
+(* B0-B13: microbenchmarks and kernel-correctness checks.
 
    B0 ports the former standalone smoke pass: exact kernel = naive
    equality assertions (payoff tables, incremental deviation chains,
@@ -13,7 +13,12 @@
    also reports the speedup against its kernel partner from the same run
    (so B7 before B8, etc. — registration order guarantees this in a full
    sweep) and, at full scale, checks speedup >= 2x.  At smoke scale the
-   Bechamel quota is reduced and timing checks are skipped. *)
+   Bechamel quota is reduced and timing checks are skipped.
+
+   B13 gates the numeric tower (lib/rational): the small fast path is
+   timed against an in-process copy of the seed's fixed-width arithmetic
+   (overhead <= 10% at full scale), promotion cost is reported, and the
+   B7 sweep is compared against the committed BENCH_2.json baseline. *)
 
 open Bechamel
 open Toolkit
@@ -355,6 +360,224 @@ let b12 ctx =
   speedup ctx ~id:"B12" ~kernel_id:"B11"
     ~label:"fictitious 100 rounds (B12/B11)" slow
 
+(* --- B13: numeric-tower fast path vs the seed's fixed-width rationals --- *)
+
+(* A faithful in-process copy of the pre-tower fixed-width arithmetic
+   (normalized 63-bit fractions, overflow-checked primitives, Knuth's
+   shared-gcd tricks), so the tower's small-path overhead is measured
+   against the exact code it replaced rather than against a remembered
+   number.  Kept local to the benchmark on purpose: nothing else may
+   depend on overflow-raising arithmetic anymore. *)
+module Fixed = struct
+  exception Overflow
+
+  type t = { num : int; den : int }
+
+  let check_representable n = if n = min_int then raise Overflow else n
+
+  let add_ovf a b =
+    let s = a + b in
+    if (a >= 0) = (b >= 0) && (s >= 0) <> (a >= 0) then raise Overflow
+    else check_representable s
+
+  let mul_ovf a b =
+    if a = 0 || b = 0 then 0
+    else
+      let p = a * b in
+      if p / a <> b then raise Overflow else check_representable p
+
+  let neg_ovf a = if a = min_int then raise Overflow else -a
+  let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+  let norm num den =
+    if den = 0 then invalid_arg "Fixed: zero denominator";
+    let num, den = if den < 0 then (neg_ovf num, neg_ovf den) else (num, den) in
+    if num = 0 then { num = 0; den = 1 }
+    else
+      let g = gcd (abs num) den in
+      { num = num / g; den = den / g }
+
+  let make num den = norm (check_representable num) (check_representable den)
+  let zero = { num = 0; den = 1 }
+  let one = { num = 1; den = 1 }
+
+  let add a b =
+    let g = gcd a.den b.den in
+    let da = a.den / g and db = b.den / g in
+    let n = add_ovf (mul_ovf a.num db) (mul_ovf b.num da) in
+    norm n (mul_ovf a.den db)
+
+  let mul a b =
+    let g1 = gcd (abs a.num) b.den and g2 = gcd (abs b.num) a.den in
+    let n = mul_ovf (a.num / g1) (b.num / g2) in
+    let d = mul_ovf (a.den / g2) (b.den / g1) in
+    norm n d
+
+  let sub a b = add a { num = -b.num; den = b.den }
+
+  let compare a b =
+    if a.den = b.den then Stdlib.compare a.num b.num
+    else
+      let g = gcd a.den b.den in
+      let da = a.den / g and db = b.den / g in
+      Stdlib.compare (mul_ovf a.num db) (mul_ovf b.num da)
+end
+
+(* The kernel-shaped op mix: a dot product of probability-sized fractions
+   (denominators dividing 24, like the tables' lcm-bounded entries)
+   followed by a compare and a subtract.  Denominators never leave the
+   small range, so this times the tower's fast path exclusively. *)
+let b13_size = 64
+let b13_dens = [| 2; 3; 4; 6; 8; 12; 24; 1 |]
+let b13_num i j = ((i * 37) + (j * 53)) mod 7 [@@inline]
+
+let b13_mix_q xs ys =
+  let acc = ref Q.zero in
+  for i = 0 to Array.length xs - 1 do
+    acc := Q.add !acc (Q.mul xs.(i) ys.(i))
+  done;
+  if Q.compare !acc Q.one > 0 then Q.sub !acc Q.one else !acc
+
+let b13_mix_fixed xs ys =
+  let acc = ref Fixed.zero in
+  for i = 0 to Array.length xs - 1 do
+    acc := Fixed.add !acc (Fixed.mul xs.(i) ys.(i))
+  done;
+  if Fixed.compare !acc Fixed.one > 0 then Fixed.sub !acc Fixed.one else !acc
+
+(* Ten primes near 10^5: the running sum of reciprocals promotes once the
+   denominator product clears max_int (after the fourth term) and stays
+   big, so this times promotion plus big-path arithmetic. *)
+let b13_primes =
+  [| 99991; 99989; 99971; 99961; 99929; 99923; 99907; 99901; 99881; 99877 |]
+
+let b13_promoting_sum () =
+  Array.fold_left (fun acc p -> Q.add acc (Q.make 1 p)) Q.zero b13_primes
+
+(* The committed full-scale artifact, for the cross-run regression gate.
+   Resolved relative to the working directory, which is the project root
+   under both `dune exec bench/main.exe` and the CLI. *)
+let committed_baseline = "BENCH_2.json"
+
+let baseline_b7_ns () =
+  if not (Sys.file_exists committed_baseline) then None
+  else
+    let ic = open_in committed_baseline in
+    let text =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Harness.Json.of_string text with
+    | Error _ -> None
+    | Ok json -> (
+        match Harness.Json.member "experiments" json with
+        | Some (Harness.Json.List exps) ->
+            List.find_map
+              (fun e ->
+                match Harness.Json.member "id" e with
+                | Some (Harness.Json.String "B7") -> (
+                    match Harness.Json.member "measures" e with
+                    | Some m -> (
+                        match Harness.Json.member "ns_per_run" m with
+                        | Some (Harness.Json.Float ns) -> Some ns
+                        | Some (Harness.Json.Int ns) -> Some (float_of_int ns)
+                        | _ -> None)
+                    | None -> None)
+                | _ -> None)
+              exps
+        | _ -> None)
+
+let b13 ctx =
+  let quota = if E.is_smoke ctx then 0.02 else 0.5 in
+  let raw ~name thunk =
+    match analyze ~quota [ Test.make ~name (Staged.stage thunk) ] with
+    | (_, e, _) :: _ -> e
+    | [] -> nan
+  in
+  let solo ~name ~measure thunk =
+    let estimate = raw ~name thunk in
+    E.measure ctx measure (E.Float estimate);
+    ignore
+      (E.check ctx
+         ~label:("B13 " ^ measure ^ ": OLS estimate is positive and finite")
+         (Float.is_finite estimate && estimate > 0.0));
+    estimate
+  in
+  let qx = Array.init b13_size (fun i -> Q.make (b13_num i 1 - 3) b13_dens.(i mod 8)) in
+  let qy = Array.init b13_size (fun i -> Q.make (b13_num i 2 - 3) b13_dens.((i + 3) mod 8)) in
+  let fx = Array.init b13_size (fun i -> Fixed.make (b13_num i 1 - 3) b13_dens.(i mod 8)) in
+  let fy = Array.init b13_size (fun i -> Fixed.make (b13_num i 2 - 3) b13_dens.((i + 3) mod 8)) in
+  (* Same mix, same answer: the baseline must agree exactly before its
+     timing means anything. *)
+  let fr = b13_mix_fixed fx fy in
+  ignore
+    (E.check ctx ~label:"B13: tower mix = fixed-width mix (exact)"
+       (Q.equal (b13_mix_q qx qy) (Q.make fr.Fixed.num fr.Fixed.den)));
+  ignore
+    (E.check ctx ~label:"B13: mix result stays on the small path"
+       (Q.is_small (b13_mix_q qx qy)));
+  ignore
+    (E.check ctx ~label:"B13: prime-harmonic sum promotes"
+       (not (Q.is_small (b13_promoting_sum ()))));
+  (* The overhead gate needs the pair measured under identical machine
+     conditions: interleave the two estimates and keep the per-side
+     minimum over a few rounds, which is robust against load spikes that
+     a single OLS pass absorbs into its estimate. *)
+  let rounds = if E.is_smoke ctx then 1 else 3 in
+  let tower = ref infinity and fixed = ref infinity in
+  for _ = 1 to rounds do
+    tower :=
+      Float.min !tower
+        (raw
+           ~name:(Printf.sprintf "B13 tower small path (%d-term dot mix)" b13_size)
+           (fun () -> ignore (b13_mix_q qx qy)));
+    fixed :=
+      Float.min !fixed
+        (raw ~name:"B13 fixed-width baseline (same mix)" (fun () ->
+             ignore (b13_mix_fixed fx fy)))
+  done;
+  let tower = !tower and fixed = !fixed in
+  E.measure ctx "tower_ns_per_run" (E.Float tower);
+  E.measure ctx "fixed_ns_per_run" (E.Float fixed);
+  ignore
+    (E.check ctx ~label:"B13 pair estimates: positive and finite"
+       (Float.is_finite tower && tower > 0.0 && Float.is_finite fixed
+      && fixed > 0.0));
+  let promo =
+    solo ~name:"B13 promoting prime-harmonic sum (10 terms)"
+      ~measure:"promotion_ns_per_run"
+      (fun () -> ignore (b13_promoting_sum ()))
+  in
+  let overhead = tower /. fixed in
+  E.measure ctx "small_path_overhead" (E.Float overhead);
+  E.outf ctx
+    "B13 small-path overhead vs fixed-width seed arithmetic: %.3fx (%s vs %s)\n"
+    overhead (human_time tower) (human_time fixed);
+  E.outf ctx "B13 promoting 10-term sum: %s (%.1f ns/term incl. big path)\n"
+    (human_time promo)
+    (promo /. float_of_int (Array.length b13_primes));
+  if not (E.is_smoke ctx) then
+    ignore
+      (E.check ctx ~label:"B13: small-path overhead at most 10%"
+         (overhead <= 1.10));
+  (* Cross-run report: the BR sweep (B7) of this sweep against the
+     committed full-scale artifact.  Informational only — cross-session
+     wall clock on shared hardware swings far more than the in-process
+     pair above, which is the authoritative overhead measurement. *)
+  (match (E.is_smoke ctx, Hashtbl.find_opt estimates "B7", baseline_b7_ns ()) with
+  | false, Some current, Some committed when committed > 0.0 ->
+      let ratio = current /. committed in
+      E.measure ctx "b7_vs_committed_baseline" (E.Float ratio);
+      E.outf ctx "B13 B7 BR sweep vs committed %s: %.3fx (%s vs %s)\n"
+        committed_baseline ratio (human_time current) (human_time committed)
+  | _ ->
+      E.outf ctx
+        "B13 committed-baseline comparison: n/a (needs full scale, B7 in \
+         the same sweep, and %s)\n"
+        committed_baseline);
+  E.out ctx "\n"
+
 let register () =
   let r ~id ~claim ~expected run =
     Harness.Registry.register
@@ -388,4 +611,12 @@ let register () =
   r ~id:"B11" ~claim:"fictitious play, 100 rounds, incremental kernel"
     ~expected:"OLS ns/run (pair with B12)" b11;
   r ~id:"B12" ~claim:"fictitious play, 100 rounds, naive rescanning"
-    ~expected:"kernel speedup >= 2x at full scale" b12
+    ~expected:"kernel speedup >= 2x at full scale" b12;
+  r ~id:"B13"
+    ~claim:
+      "numeric tower: the small fast path costs within 10% of the seed's \
+       fixed-width rationals; promotion to big rationals is pay-as-you-go"
+    ~expected:
+      "tower/fixed overhead <= 1.10 at full scale; B7 within 10% of the \
+       committed artifact; promoting sum completes exactly"
+    b13

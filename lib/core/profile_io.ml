@@ -1,18 +1,14 @@
 module Q = Exact.Q
 
-let q_to_string q = Printf.sprintf "%d/%d" (Q.num q) (Q.den q)
+(* Q's own string format ("num/den", "/den" omitted for integers) at any
+   magnitude: probabilities with denominators beyond the native range
+   (deep mixes, long-horizon averages) serialize losslessly. *)
+let q_to_string = Q.to_string
 
 let q_of_string s =
-  match String.split_on_char '/' s with
-  | [ num; den ] -> (
-      match (int_of_string_opt num, int_of_string_opt den) with
-      | Some n, Some d -> Q.make n d
-      | _ -> invalid_arg ("Profile_io: bad rational " ^ s))
-  | [ num ] -> (
-      match int_of_string_opt num with
-      | Some n -> Q.of_int n
-      | None -> invalid_arg ("Profile_io: bad rational " ^ s))
-  | _ -> invalid_arg ("Profile_io: bad rational " ^ s)
+  match Q.of_string_opt s with
+  | Some q -> q
+  | None -> invalid_arg ("Profile_io: bad rational " ^ s)
 
 let to_string profile =
   let model = Profile.model profile in

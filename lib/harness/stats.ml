@@ -1,7 +1,16 @@
+(* NaN or infinite samples would propagate silently through every moment
+   and fit below (a NaN mean poisons stddev, acceptance bands, R²); fail
+   loudly at the door instead. *)
+let check_finite ~who x =
+  if not (Float.is_finite x) then
+    invalid_arg (Printf.sprintf "%s: non-finite sample %h" who x)
+
 let mean xs =
   match xs with
   | [] -> invalid_arg "Stats.mean: empty list"
-  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+  | _ ->
+      List.iter (check_finite ~who:"Stats.mean") xs;
+      List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
 
 let stddev xs =
   (* Sample (n−1) estimator: the population (n) estimator understates
@@ -20,6 +29,11 @@ type fit = { slope : float; intercept : float; r_squared : float }
 let linear_fit points =
   let n = List.length points in
   if n < 2 then invalid_arg "Stats.linear_fit: need at least two points";
+  List.iter
+    (fun (x, y) ->
+      check_finite ~who:"Stats.linear_fit" x;
+      check_finite ~who:"Stats.linear_fit" y)
+    points;
   let xs = List.map fst points and ys = List.map snd points in
   let mx = mean xs and my = mean ys in
   let sxx = List.fold_left (fun acc x -> acc +. ((x -. mx) ** 2.0)) 0.0 xs in

@@ -1,6 +1,10 @@
 (** Summary statistics and ordinary least squares, used to check the
     paper's asymptotic and linearity claims quantitatively (F1–F3). *)
 
+(** Arithmetic mean.
+    @raise Invalid_argument on the empty list or any NaN/infinite sample
+    (a single bad sample would otherwise poison every derived moment
+    silently). *)
 val mean : float list -> float
 
 (** Sample standard deviation (the unbiased n−1 estimator); 0.0 for a
@@ -14,7 +18,8 @@ type fit = {
 }
 
 (** Least-squares line through the points.
-    @raise Invalid_argument with fewer than two distinct x values. *)
+    @raise Invalid_argument with fewer than two distinct x values, or on
+    any NaN/infinite coordinate. *)
 val linear_fit : (float * float) list -> fit
 
 (** [is_linear ?tolerance points]: R² of the linear fit at least

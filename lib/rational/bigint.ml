@@ -1,0 +1,79 @@
+type t = { sign : int; mag : Bignat.t }
+
+let zero = { sign = 0; mag = Bignat.zero }
+let one = { sign = 1; mag = Bignat.one }
+let minus_one = { sign = -1; mag = Bignat.one }
+
+let make ~sign mag =
+  if Bignat.is_zero mag then
+    if sign = 0 || sign = 1 || sign = -1 then zero
+    else invalid_arg "Bigint.make: sign not in {-1, 0, 1}"
+  else if sign = 1 || sign = -1 then { sign; mag }
+  else invalid_arg "Bigint.make: sign must be -1 or 1 for nonzero magnitude"
+
+let of_int n =
+  if n = 0 then zero
+  else if n > 0 then { sign = 1; mag = Bignat.of_int n }
+  else if n = min_int then
+    (* |min_int| is not a valid [abs]; build it as max_int + 1. *)
+    { sign = -1; mag = Bignat.add (Bignat.of_int max_int) Bignat.one }
+  else { sign = -1; mag = Bignat.of_int (-n) }
+
+let to_int_opt a =
+  match Bignat.to_int_opt a.mag with
+  | Some m -> if a.sign >= 0 then Some m else Some (-m)
+  | None ->
+      (* max_int + 1 = |min_int| has 3 limbs yet fits as min_int. *)
+      if a.sign < 0 && Bignat.equal a.mag (Bignat.add (Bignat.of_int max_int) Bignat.one)
+      then Some min_int
+      else None
+
+let sign a = a.sign
+let abs_nat a = a.mag
+let is_zero a = a.sign = 0
+let equal a b = a.sign = b.sign && Bignat.equal a.mag b.mag
+
+let compare a b =
+  if a.sign <> b.sign then Stdlib.compare a.sign b.sign
+  else if a.sign >= 0 then Bignat.compare a.mag b.mag
+  else Bignat.compare b.mag a.mag
+
+let neg a = if a.sign = 0 then a else { a with sign = -a.sign }
+let abs a = if a.sign < 0 then { a with sign = 1 } else a
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then { a with mag = Bignat.add a.mag b.mag }
+  else
+    let c = Bignat.compare a.mag b.mag in
+    if c = 0 then zero
+    else if c > 0 then { sign = a.sign; mag = Bignat.sub a.mag b.mag }
+    else { sign = b.sign; mag = Bignat.sub b.mag a.mag }
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else { sign = a.sign * b.sign; mag = Bignat.mul a.mag b.mag }
+
+let divmod a b =
+  if b.sign = 0 then raise Division_by_zero
+  else
+    let q, r = Bignat.divmod a.mag b.mag in
+    ( make ~sign:(a.sign * b.sign) q,
+      (* truncated division: the remainder keeps the dividend's sign *)
+      make ~sign:a.sign r )
+
+let to_float a = float_of_int a.sign *. Bignat.to_float a.mag
+
+let to_string a =
+  if a.sign < 0 then "-" ^ Bignat.to_string a.mag else Bignat.to_string a.mag
+
+let of_string s =
+  let negative = String.length s > 0 && s.[0] = '-' in
+  let digits = if negative then String.sub s 1 (String.length s - 1) else s in
+  let mag = Bignat.of_string digits in
+  make ~sign:(if negative then -1 else 1) mag
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)

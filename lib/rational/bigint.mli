@@ -1,0 +1,50 @@
+(** Arbitrary-precision signed integers: a sign and a {!Bignat} magnitude.
+
+    Canonical: zero always carries sign [0], so structural equality is
+    numeric equality.  Thin layer — all heavy lifting is in {!Bignat}. *)
+
+type t
+
+val zero : t
+val one : t
+val minus_one : t
+
+(** Total: every native int (including [min_int]) is representable. *)
+val of_int : int -> t
+
+(** The native-int value when representable. *)
+val to_int_opt : t -> int option
+
+(** [make ~sign mag] with [sign] in {-1, 0, 1}; the sign is forced to 0
+    when [mag] is zero. @raise Invalid_argument on other signs or on
+    [sign = 0] with a nonzero magnitude. *)
+val make : sign:int -> Bignat.t -> t
+
+(** [-1], [0] or [1]. *)
+val sign : t -> int
+
+(** Magnitude. *)
+val abs_nat : t -> Bignat.t
+
+val is_zero : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** Truncated division (round toward zero, as native [/] and [mod]):
+    [fst (divmod a b) * b + snd (divmod a b) = a] and the remainder has
+    the dividend's sign. @raise Division_by_zero if [b] is zero. *)
+val divmod : t -> t -> t * t
+
+val to_float : t -> float
+val to_string : t -> string
+
+(** Parse an optional ['-'] followed by decimal digits.
+    @raise Invalid_argument on anything else. *)
+val of_string : string -> t
+
+val pp : Format.formatter -> t -> unit

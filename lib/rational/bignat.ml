@@ -1,0 +1,289 @@
+(* Arbitrary-precision naturals on base-2^31 limbs (little-endian int
+   arrays, canonical: no trailing zeros, zero = [||]).
+
+   The base is chosen so every intermediate of the schoolbook loops fits a
+   63-bit native int: a limb product is < 2^62, and product + carry +
+   addend stays <= max_int = 2^62 - 1.  Knuth Algorithm D's quotient-digit
+   estimate likewise needs only two-limb intermediates. *)
+
+type t = int array
+
+let base_bits = 31
+let base = 1 lsl base_bits
+let mask = base - 1
+
+let zero = [||]
+let one = [| 1 |]
+
+let is_zero a = Array.length a = 0
+
+(* Strip trailing zero limbs (shared normalization step). *)
+let trim a =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let of_int n =
+  if n < 0 then invalid_arg "Bignat.of_int: negative"
+  else if n = 0 then zero
+  else if n < base then [| n |]
+  else [| n land mask; n lsr base_bits |]
+
+(* Any value of <= 2 limbs is <= 2^62 - 1 = max_int, so it always fits. *)
+let to_int_opt a =
+  match Array.length a with
+  | 0 -> Some 0
+  | 1 -> Some a.(0)
+  | 2 -> Some (a.(0) lor (a.(1) lsl base_bits))
+  | _ -> None
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+
+let equal a b = compare a b = 0
+
+let int_bits n =
+  let rec go acc n = if n = 0 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let bit_length a =
+  let l = Array.length a in
+  if l = 0 then 0 else ((l - 1) * base_bits) + int_bits a.(l - 1)
+
+let add a b =
+  let la = Array.length a and lb = Array.length b in
+  let l = Stdlib.max la lb in
+  let out = Array.make (l + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to l - 1 do
+    let s =
+      (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry
+    in
+    out.(i) <- s land mask;
+    carry := s lsr base_bits
+  done;
+  out.(l) <- !carry;
+  trim out
+
+let sub a b =
+  if compare a b < 0 then invalid_arg "Bignat.sub: negative result";
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin
+      out.(i) <- d + base;
+      borrow := 1
+    end
+    else begin
+      out.(i) <- d;
+      borrow := 0
+    end
+  done;
+  trim out
+
+let mul a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else begin
+    let out = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      if ai <> 0 then begin
+        for j = 0 to lb - 1 do
+          (* ai*bj < 2^62; + two sub-2^31 terms stays <= max_int *)
+          let p = (ai * b.(j)) + out.(i + j) + !carry in
+          out.(i + j) <- p land mask;
+          carry := p lsr base_bits
+        done;
+        out.(i + lb) <- out.(i + lb) + !carry
+      end
+    done;
+    trim out
+  end
+
+(* Left shift by [s] bits, 0 <= s < base_bits, into a fresh array of
+   length [extra] + enough limbs (used by division normalization). *)
+let shift_left_bits a s ~extra =
+  let la = Array.length a in
+  let out = Array.make (la + 1 + extra) 0 in
+  if s = 0 then Array.blit a 0 out 0 la
+  else begin
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      out.(i) <- ((a.(i) lsl s) lor !carry) land mask;
+      carry := a.(i) lsr (base_bits - s)
+    done;
+    out.(la) <- !carry
+  end;
+  out
+
+let shift_right_bits a s =
+  if s = 0 then trim (Array.copy a)
+  else begin
+    let la = Array.length a in
+    let out = Array.make la 0 in
+    for i = 0 to la - 1 do
+      let lo = a.(i) lsr s in
+      let hi = if i + 1 < la then (a.(i + 1) lsl (base_bits - s)) land mask else 0 in
+      out.(i) <- lo lor hi
+    done;
+    trim out
+  end
+
+(* Division by a single limb: one pass of short division. *)
+let divmod_small a d =
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let r = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!r lsl base_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
+  done;
+  (trim q, of_int !r)
+
+(* Knuth TAOCP vol. 2, Algorithm 4.3.1 D. *)
+let divmod_knuth a b =
+  let n = Array.length b in
+  (* D1: normalize so the divisor's top limb has its high bit set. *)
+  let shift = base_bits - int_bits b.(n - 1) in
+  let u = shift_left_bits a shift ~extra:0 in
+  let v = trim (shift_left_bits b shift ~extra:0) in
+  let m = Array.length u - n in
+  let q = Array.make m 0 in
+  let vtop = v.(n - 1) and vnext = v.(n - 2) in
+  for j = m - 1 downto 0 do
+    (* D3: estimate the quotient digit from the top two remainder limbs. *)
+    let num2 = (u.(j + n) lsl base_bits) lor u.(j + n - 1) in
+    let qhat = ref (num2 / vtop) and rhat = ref (num2 mod vtop) in
+    let continue = ref true in
+    while
+      !continue
+      && (!qhat >= base
+         || !qhat * vnext > (!rhat lsl base_bits) lor u.(j + n - 2))
+    do
+      decr qhat;
+      rhat := !rhat + vtop;
+      if !rhat >= base then continue := false
+    done;
+    (* D4: multiply and subtract. *)
+    let carry = ref 0 and borrow = ref 0 in
+    for i = 0 to n - 1 do
+      let p = (!qhat * v.(i)) + !carry in
+      carry := p lsr base_bits;
+      let d = u.(j + i) - (p land mask) - !borrow in
+      if d < 0 then begin
+        u.(j + i) <- d + base;
+        borrow := 1
+      end
+      else begin
+        u.(j + i) <- d;
+        borrow := 0
+      end
+    done;
+    let d = u.(j + n) - !carry - !borrow in
+    if d < 0 then begin
+      (* D6: qhat was one too large; add the divisor back. *)
+      u.(j + n) <- d + base;
+      decr qhat;
+      let carry = ref 0 in
+      for i = 0 to n - 1 do
+        let s = u.(j + i) + v.(i) + !carry in
+        u.(j + i) <- s land mask;
+        carry := s lsr base_bits
+      done;
+      u.(j + n) <- (u.(j + n) + !carry) land mask
+    end
+    else u.(j + n) <- d;
+    q.(j) <- !qhat
+  done;
+  (* D8: denormalize the remainder. *)
+  (trim q, shift_right_bits (trim (Array.sub u 0 n)) shift)
+
+let divmod a b =
+  match Array.length b with
+  | 0 -> raise Division_by_zero
+  | _ when compare a b < 0 -> (zero, trim (Array.copy a))
+  | 1 -> divmod_small a b.(0)
+  | _ -> divmod_knuth a b
+
+let rec gcd a b = if is_zero b then a else gcd b (snd (divmod a b))
+
+let shift_right a k =
+  if k < 0 then invalid_arg "Bignat.shift_right: negative shift"
+  else
+    let limbs = k / base_bits and bits = k mod base_bits in
+    let la = Array.length a in
+    if limbs >= la then zero
+    else shift_right_bits (Array.sub a limbs (la - limbs)) bits
+
+let to_float a =
+  Array.fold_right (fun limb acc -> (acc *. 2147483648.0) +. float_of_int limb) a 0.0
+
+(* Decimal conversion works in chunks of 9 digits (10^9 < 2^31). *)
+let chunk = 1_000_000_000
+
+let to_string a =
+  if is_zero a then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let rec go a acc =
+      if is_zero a then acc
+      else
+        let q, r = divmod_small a chunk in
+        go q ((match to_int_opt r with Some r -> r | None -> assert false) :: acc)
+    in
+    (match go a [] with
+    | [] -> assert false
+    | first :: rest ->
+        Buffer.add_string buf (string_of_int first);
+        List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%09d" c)) rest);
+    Buffer.contents buf
+  end
+
+let mul_add_small a m c =
+  (* a * m + c for native m, c in [0, 2^31); one fused pass. *)
+  let la = Array.length a in
+  let out = Array.make (la + 2) 0 in
+  let carry = ref c in
+  for i = 0 to la - 1 do
+    let p = (a.(i) * m) + !carry in
+    out.(i) <- p land mask;
+    carry := p lsr base_bits
+  done;
+  out.(la) <- !carry land mask;
+  out.(la + 1) <- !carry lsr base_bits;
+  trim out
+
+let of_string s =
+  let len = String.length s in
+  if len = 0 then invalid_arg "Bignat.of_string: empty string";
+  String.iter
+    (function '0' .. '9' -> () | _ -> invalid_arg "Bignat.of_string: not a digit")
+    s;
+  let pow10 = [| 1; 10; 100; 1_000; 10_000; 100_000; 1_000_000; 10_000_000;
+                 100_000_000; 1_000_000_000 |] in
+  let acc = ref zero in
+  let i = ref 0 in
+  while !i < len do
+    let take = Stdlib.min 9 (len - !i) in
+    let part = int_of_string (String.sub s !i take) in
+    acc := mul_add_small !acc pow10.(take) part;
+    i := !i + take
+  done;
+  !acc
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)

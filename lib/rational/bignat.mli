@@ -1,0 +1,60 @@
+(** Arbitrary-precision natural numbers (pure OCaml, no zarith).
+
+    Little-endian arrays of base-2{^31} limbs: every limb fits in a native
+    int with enough headroom that a limb product plus two carries stays
+    below [max_int], so schoolbook multiplication and Knuth division need
+    no wider intermediate type.  Values are canonical (no trailing zero
+    limbs; zero is the empty array), so structural equality of the limb
+    arrays coincides with numeric equality.
+
+    This module is the substrate of {!Bigint} and of the big branch of the
+    {!Q} numeric tower; it is not performance-critical on the small/fast
+    path, only correctness-critical. *)
+
+type t
+
+val zero : t
+val one : t
+
+(** [of_int n] for [n >= 0]. @raise Invalid_argument on negative input. *)
+val of_int : int -> t
+
+(** The native-int value when it is representable ([<= max_int]). *)
+val to_int_opt : t -> int option
+
+val is_zero : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** Number of significant bits; 0 for zero. *)
+val bit_length : t -> int
+
+val add : t -> t -> t
+
+(** [sub a b] requires [a >= b]. @raise Invalid_argument otherwise. *)
+val sub : t -> t -> t
+
+val mul : t -> t -> t
+
+(** [divmod a b] is [(a / b, a mod b)] with [0 <= a mod b < b].
+    Knuth Algorithm D. @raise Division_by_zero if [b] is zero. *)
+val divmod : t -> t -> t * t
+
+(** Greatest common divisor; [gcd zero b = b]. *)
+val gcd : t -> t -> t
+
+(** [shift_right a k] is [a / 2{^k}] (any [k >= 0]).
+    @raise Invalid_argument on negative [k]. *)
+val shift_right : t -> int -> t
+
+(** Closest double; [infinity] when the value exceeds the float range. *)
+val to_float : t -> float
+
+(** Decimal digits. *)
+val to_string : t -> string
+
+(** Parse a non-empty decimal digit string.
+    @raise Invalid_argument on anything else. *)
+val of_string : string -> t
+
+val pp : Format.formatter -> t -> unit

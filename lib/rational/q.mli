@@ -1,19 +1,29 @@
-(** Exact rational arithmetic over native (63-bit) integers.
+(** Exact rational arithmetic: a two-representation numeric tower.
 
-    Values are kept normalized: the denominator is strictly positive and the
-    numerator and denominator are coprime.  All operations that could exceed
-    the native integer range raise {!Overflow} instead of silently wrapping,
-    so results are either exact or loudly absent.  The equilibrium quantities
-    of the Tuple model have numerators and denominators bounded by small
-    polynomials in the instance size, for which native integers are ample. *)
+    Values are kept normalized (denominator strictly positive, numerator
+    and denominator coprime) in one of two representations: a fraction of
+    native 63-bit ints — the fast path every hot loop stays on — or, when
+    any component outgrows the native range, an arbitrary-precision
+    fraction over {!Bigint}/{!Bignat}.  Promotion is transparent: an
+    operation whose native intermediate would overflow is replayed over
+    the big representation instead of failing, and results are demoted
+    back to the native representation whenever they fit, so the
+    representation of a value is canonical.  Arithmetic therefore never
+    raises {!Overflow} — results are always exact — and the seed
+    limitation (63-bit fractions crashing on long fictitious-play
+    averages, uniform mixes over huge tuple spaces, or LP pivot growth)
+    is gone. *)
 
 type t
 
-(** Raised when an intermediate product or sum would exceed the native
-    integer range. *)
+(** Raised only by the native-int {e accessors} ({!num}, {!den},
+    {!to_int_exn}) when the value does not fit the native range.
+    Arithmetic never raises this: overflowing operations promote to the
+    arbitrary-precision representation instead. *)
 exception Overflow
 
-(** Raised by {!make}, {!div} and {!inv} on a zero denominator. *)
+(** Raised by {!make}, {!of_big}, {!div} and {!inv} on a zero
+    denominator. *)
 exception Division_by_zero
 
 val zero : t
@@ -27,11 +37,27 @@ val make : int -> int -> t
 (** [of_int n] is the rational [n/1]. *)
 val of_int : int -> t
 
-(** Numerator of the normalized representation. *)
+(** [of_big ~num ~den] is the normalized arbitrary-precision rational
+    [num/den] (demoted to the native representation when it fits).
+    @raise Division_by_zero if [den] is zero. *)
+val of_big : num:Bigint.t -> den:Bigint.t -> t
+
+(** The normalized numerator/denominator pair, in arbitrary precision
+    ([den] as a natural — it is always positive).  Total. *)
+val to_big : t -> Bigint.t * Bignat.t
+
+(** Numerator of the normalized representation.
+    @raise Overflow when it exceeds the native range. *)
 val num : t -> int
 
-(** Denominator of the normalized representation; always [> 0]. *)
+(** Denominator of the normalized representation; always [> 0].
+    @raise Overflow when it exceeds the native range. *)
 val den : t -> int
+
+(** [true] iff the value is held in the native fast-path representation
+    (numerator and denominator both native ints).  Diagnostic — used by
+    the promotion tests and the B13 microbenchmark. *)
+val is_small : t -> bool
 
 val add : t -> t -> t
 val sub : t -> t -> t
@@ -71,9 +97,12 @@ val is_zero : t -> bool
 (** [true] iff the denominator is 1. *)
 val is_integer : t -> bool
 
-(** Exact integer value. @raise Invalid_argument if not an integer. *)
+(** Exact integer value. @raise Invalid_argument if not an integer.
+    @raise Overflow if integral but outside the native range. *)
 val to_int_exn : t -> int
 
+(** Nearest double (scaled division — correct even when both components
+    exceed the float range). *)
 val to_float : t -> float
 
 (** Sum of a list; [zero] for the empty list. *)
@@ -88,7 +117,16 @@ val min_list : t list -> t
 (** Maximum of a non-empty list. @raise Invalid_argument on []. *)
 val max_list : t list -> t
 
-(** ["num/den"], or just ["num"] when the value is an integer. *)
+(** ["num/den"], or just ["num"] when the value is an integer.  Exact at
+    any magnitude — the inverse of {!of_string}. *)
 val to_string : t -> string
+
+(** Parse [to_string]'s format — an optionally-signed decimal integer
+    with an optional [/den] part — at any magnitude.
+    @raise Invalid_argument on malformed input or a zero denominator. *)
+val of_string : string -> t
+
+(** [of_string] returning [None] instead of raising. *)
+val of_string_opt : string -> t option
 
 val pp : Format.formatter -> t -> unit

@@ -150,18 +150,23 @@ let run ?record rng model ~max_steps =
             }
       | attackers, defender_move ->
           (* Pick a dissatisfied player uniformly; the defender counts as
-             one entrant in the lottery. *)
-          let options =
-            List.map (fun i -> `Attacker i) attackers
-            @ match defender_move with Some _ -> [ `Defender ] | None -> []
+             one entrant in the lottery.  Drawing an index directly keeps
+             the PRNG stream identical to the historical list-to-array
+             lottery while skipping the per-step option array. *)
+          let na = List.length attackers in
+          let entrants =
+            na + match defender_move with Some _ -> 1 | None -> 0
           in
-          (match Rng.choose rng (Array.of_list options) with
-          | `Attacker i ->
-              choices.(i) <- Rng.choose rng uncovered;
-              emit step (`Attacker i)
-          | `Defender ->
-              tuple := Option.get better_tuple;
-              emit step `Defender);
+          let pick = Rng.int rng entrants in
+          if pick < na then begin
+            let i = List.nth attackers pick in
+            choices.(i) <- Rng.choose rng uncovered;
+            emit step (`Attacker i)
+          end
+          else begin
+            tuple := Option.get better_tuple;
+            emit step `Defender
+          end;
           loop (step + 1)
     end
   in

@@ -94,17 +94,28 @@ let run ?(naive = false) rng model ~rounds =
   let tuple_history = Array.make rounds None in
   let choice_history = Array.make_matrix rounds nu 0 in
   let total = ref 0 and tail_total = ref 0 in
+  (* Tie-break scratch for the attacker's least-scanned choice, allocated
+     once for the whole run: the per-round set is written in place instead
+     of being built as a list and converted to an array per call. *)
+  let tie = Array.make n 0 in
   let attacker_choice () =
     (* least-scanned vertex, ties broken uniformly *)
-    let best = ref [] and best_count = ref max_int in
+    let ties = ref 0 and best_count = ref max_int in
     for v = 0 to n - 1 do
       if hit_count.(v) < !best_count then begin
         best_count := hit_count.(v);
-        best := [ v ]
+        tie.(0) <- v;
+        ties := 1
       end
-      else if hit_count.(v) = !best_count then best := v :: !best
+      else if hit_count.(v) = !best_count then begin
+        tie.(!ties) <- v;
+        incr ties
+      end
     done;
-    Rng.choose rng (Array.of_list !best)
+    (* [tie] is ascending where the old per-call list was descending;
+       index from the top so the PRNG stream and the chosen vertex are
+       bit-for-bit identical to the historical behavior. *)
+    tie.(!ties - 1 - Rng.int rng !ties)
   in
   let recompute_from_history r =
     for v = 0 to n - 1 do

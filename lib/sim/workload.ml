@@ -41,6 +41,7 @@ type state = {
   hit_count : int array;        (* times each vertex was scanned *)
   attack_count : int array;     (* times each vertex was attacked *)
   mutable cursor : int;         (* round-robin position *)
+  tie : int array;              (* scratch for least-hit tie-breaking *)
 }
 
 let hotspot_distribution g ~targets ~concentration =
@@ -60,15 +61,22 @@ let hotspot_distribution g ~targets ~concentration =
   weights
 
 let least_hit_vertex rng state n =
-  let best = ref [] and best_count = ref max_int in
+  let ties = ref 0 and best_count = ref max_int in
   for v = 0 to n - 1 do
     if state.hit_count.(v) < !best_count then begin
       best_count := state.hit_count.(v);
-      best := [ v ]
+      state.tie.(0) <- v;
+      ties := 1
     end
-    else if state.hit_count.(v) = !best_count then best := v :: !best
+    else if state.hit_count.(v) = !best_count then begin
+      state.tie.(!ties) <- v;
+      incr ties
+    end
   done;
-  Rng.choose rng (Array.of_list !best)
+  (* [tie] is filled ascending where the old per-call list was descending;
+     index from the top so the PRNG stream and the chosen vertex match the
+     historical behavior exactly without a per-call allocation. *)
+  state.tie.(!ties - 1 - Rng.int rng !ties)
 
 let sample_attacker rng g state = function
   | Attacker_fixed d -> Dist.Finite.sample rng d
@@ -161,6 +169,7 @@ let run rng model ~attacker ~defender ~rounds =
       hit_count = Array.make (Graph.n g) 0;
       attack_count = Array.make (Graph.n g) 0;
       cursor = 0;
+      tie = Array.make (Graph.n g) 0;
     }
   in
   let caught_series = Array.make rounds 0 in

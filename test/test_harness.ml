@@ -104,6 +104,31 @@ let test_linear_fit_guards () =
     (Invalid_argument "Stats.linear_fit: x values are all equal") (fun () ->
       ignore (Harness.Stats.linear_fit [ (1.0, 1.0); (1.0, 2.0) ]))
 
+let test_non_finite_guards () =
+  (* A single NaN/inf sample must be rejected at the door, not averaged
+     into a silent NaN that poisons downstream acceptance bands. *)
+  let expect_invalid name f =
+    match f () with
+    | (_ : float) -> Alcotest.failf "%s: expected Invalid_argument" name
+    | exception Invalid_argument msg ->
+        Alcotest.(check bool)
+          (name ^ " names the culprit") true
+          (String.length msg > 0)
+  in
+  expect_invalid "mean with nan" (fun () ->
+      Harness.Stats.mean [ 1.0; Float.nan; 3.0 ]);
+  expect_invalid "mean with +inf" (fun () ->
+      Harness.Stats.mean [ 1.0; Float.infinity ]);
+  expect_invalid "fit with nan y" (fun () ->
+      (Harness.Stats.linear_fit [ (1.0, 1.0); (2.0, Float.nan) ])
+        .Harness.Stats.slope);
+  expect_invalid "fit with -inf x" (fun () ->
+      (Harness.Stats.linear_fit [ (Float.neg_infinity, 1.0); (2.0, 2.0) ])
+        .Harness.Stats.slope);
+  (* stddev funnels through mean, so it inherits the guard. *)
+  expect_invalid "stddev with nan" (fun () ->
+      Harness.Stats.stddev [ 1.0; Float.nan; 3.0 ])
+
 let test_power_law () =
   (* y = 3 x^2 *)
   let points = List.init 5 (fun i ->
@@ -145,6 +170,7 @@ let () =
           Alcotest.test_case "linear fit exact" `Quick test_linear_fit_exact;
           Alcotest.test_case "linear fit noisy" `Quick test_linear_fit_noisy;
           Alcotest.test_case "linear fit guards" `Quick test_linear_fit_guards;
+          Alcotest.test_case "non-finite guards" `Quick test_non_finite_guards;
           Alcotest.test_case "power law" `Quick test_power_law;
         ] );
       ("timer", [ Alcotest.test_case "timing" `Quick test_timer ]);

@@ -60,21 +60,73 @@ let test_conversions () =
   Alcotest.(check (float 1e-12)) "to_float" 0.5 (Q.to_float (Q.make 1 2));
   Alcotest.(check bool) "is_zero" true (Q.is_zero (Q.sub Q.one Q.one))
 
-let test_overflow () =
+(* Formerly [check_raises Q.Overflow] cases: the tower now promotes to
+   arbitrary precision and the result must be exactly right. *)
+let test_promotion () =
   let big = Q.of_int max_int in
-  Alcotest.check_raises "add overflow" Q.Overflow (fun () ->
-      ignore (Q.add big Q.one));
-  Alcotest.check_raises "mul overflow" Q.Overflow (fun () ->
-      ignore (Q.mul big (Q.of_int 2)));
-  (* Knuth-reduced operations that fit must not raise. *)
+  let succ = Q.add big Q.one in
+  Alcotest.(check bool) "max_int + 1 promotes" false (Q.is_small succ);
+  Alcotest.(check string) "max_int + 1 exact" "4611686018427387904"
+    (Q.to_string succ);
+  check_q "promotion round-trips: (max+1) - 1 demotes" big (Q.sub succ Q.one);
+  let doubled = Q.mul big (Q.of_int 2) in
+  Alcotest.(check bool) "2 * max_int promotes" false (Q.is_small doubled);
+  Alcotest.(check string) "2 * max_int exact" "9223372036854775806"
+    (Q.to_string doubled);
+  check_q "big / 2 demotes back" big (Q.div_int doubled 2);
+  (* Knuth-reduced operations that fit must stay on the fast path. *)
   check_q "large but reducible" (Q.of_int max_int)
-    (Q.mul (Q.make max_int 3) (Q.of_int 3))
+    (Q.mul (Q.make max_int 3) (Q.of_int 3));
+  Alcotest.(check bool) "reducible product stays small" true
+    (Q.is_small (Q.mul (Q.make max_int 3) (Q.of_int 3)));
+  (* A denominator product beyond the native range: 1/p over enough
+     distinct primes that the lcm exceeds max_int (the seed code raised
+     Q.Overflow here; regression for the promotion path). *)
+  let primes =
+    [ 2; 3; 5; 7; 11; 13; 17; 19; 23; 29; 31; 37; 41; 43; 47; 53; 59; 61 ]
+  in
+  let s = Q.sum (List.map (fun p -> Q.make 1 p) primes) in
+  Alcotest.(check bool) "prime-harmonic sum promotes" false (Q.is_small s);
+  (* Verify exactly: multiply by the product of the primes and compare
+     against the integer sum of cofactor products. *)
+  let product = List.fold_left (fun acc p -> Q.mul_int acc p) Q.one primes in
+  let cofactors =
+    Q.sum
+      (List.map
+         (fun p ->
+           List.fold_left
+             (fun acc q -> if q = p then acc else Q.mul_int acc q)
+             Q.one primes)
+         primes)
+  in
+  check_q "cleared denominators match" cofactors (Q.mul s product);
+  (* min_int is representable (promoted), and arithmetic on it is exact. *)
+  let m = Q.of_int min_int in
+  Alcotest.(check bool) "min_int promotes" false (Q.is_small m);
+  Alcotest.(check string) "min_int exact" "-4611686018427387904" (Q.to_string m);
+  check_q "min_int + max_int = -1" Q.minus_one (Q.add m (Q.of_int max_int));
+  Alcotest.check_raises "num of a big value raises Overflow" Q.Overflow
+    (fun () -> ignore (Q.num succ))
 
 (* Property tests: the rationals form an ordered field. *)
 let small_q =
   QCheck.map
     (fun (n, d) -> Q.make n (1 + abs d))
     QCheck.(pair (int_range (-1000) 1000) (int_range 0 1000))
+
+(* Rationals whose components sit just below the native range, so sums and
+   products straddle the promotion boundary: some stay on the fast path,
+   most promote, and differences demote again. *)
+let boundary_q =
+  QCheck.map
+    (fun (a, b, flip) ->
+      let q = Q.make (max_int - a) (1 + b) in
+      if flip then Q.neg q else q)
+    QCheck.(triple (int_range 0 1_000_000) (int_range 0 1_000_000) bool)
+
+(* Mix of the two regimes; cross-representation operations hit every
+   promote/demote combination. *)
+let straddle_q = QCheck.oneof [ small_q; boundary_q ]
 
 let props =
   [
@@ -113,6 +165,38 @@ let props =
       QCheck.(pair small_q small_q)
       (fun (a, b) ->
         Q.( <= ) (Q.abs (Q.add a b)) (Q.add (Q.abs a) (Q.abs b)));
+    (* Cross-validation of the small and big paths around the promotion
+       boundary: the tower must satisfy the same field identities whether
+       intermediates promote or not. *)
+    QCheck.Test.make ~name:"boundary: a+b-b = a" ~count:500
+      QCheck.(pair straddle_q straddle_q)
+      (fun (a, b) -> Q.equal a (Q.sub (Q.add a b) b));
+    QCheck.Test.make ~name:"boundary: a*b/b = a" ~count:500
+      QCheck.(pair straddle_q straddle_q)
+      (fun (a, b) -> Q.is_zero b || Q.equal a (Q.div (Q.mul a b) b));
+    QCheck.Test.make ~name:"boundary: compare antisymmetric across reps"
+      ~count:500
+      QCheck.(pair straddle_q straddle_q)
+      (fun (a, b) -> Q.compare a b = -Q.compare b a);
+    QCheck.Test.make ~name:"boundary: to_string/of_string round-trip"
+      ~count:500
+      QCheck.(pair straddle_q straddle_q)
+      (fun (a, b) ->
+        let p = Q.mul a b in
+        Q.equal a (Q.of_string (Q.to_string a))
+        && Q.equal p (Q.of_string (Q.to_string p)));
+    QCheck.Test.make ~name:"boundary: demotion is canonical" ~count:500
+      QCheck.(pair boundary_q boundary_q)
+      (fun (a, b) ->
+        (* a + b promotes (or not); (a+b) - b must be structurally equal
+           to a, i.e. land back in the same representation. *)
+        let back = Q.sub (Q.add a b) b in
+        Q.equal back a && Q.is_small back = Q.is_small a);
+    QCheck.Test.make ~name:"boundary: to_big/of_big round-trip" ~count:500
+      straddle_q
+      (fun a ->
+        let n, d = Q.to_big a in
+        Q.equal a (Q.of_big ~num:n ~den:(Exact.Bigint.make ~sign:1 d)));
   ]
 
 let () =
@@ -126,7 +210,7 @@ let () =
           Alcotest.test_case "comparisons" `Quick test_comparisons;
           Alcotest.test_case "aggregates" `Quick test_aggregates;
           Alcotest.test_case "conversions" `Quick test_conversions;
-          Alcotest.test_case "overflow" `Quick test_overflow;
+          Alcotest.test_case "promotion" `Quick test_promotion;
         ] );
       ("properties", List.map (QCheck_alcotest.to_alcotest ~verbose:false) props);
     ]
