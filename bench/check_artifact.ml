@@ -4,11 +4,17 @@
    sweep that silently emits a malformed or failing artifact cannot pass
    `dune runtest`.
 
-     check_artifact.exe FILE.json
+     check_artifact.exe FILE.json             # gate one artifact
+     check_artifact.exe --strip FILE.json     # print it timing-stripped
+     check_artifact.exe --same-stripped A B   # equal modulo timings?
 
-   Exit 0 when the artifact is well-formed, non-empty, and contains no
-   degraded verdict and no failed check; exit 1 with a diagnostic
-   otherwise. *)
+   The gate exits 0 when the artifact is well-formed, non-empty, and
+   contains no degraded or crashed verdict and no failed check; exit 1
+   with a diagnostic otherwise.  --strip prints the artifact with every
+   timing-derived field removed (Registry.strip_timings: wall clocks,
+   Timer cells, float measures), the normal form under which sequential
+   and --jobs N sweeps of the same registry must agree; --same-stripped
+   asserts exactly that for two artifact files. *)
 
 module J = Harness.Json
 
@@ -27,25 +33,20 @@ let as_string ~ctx = function
   | J.String s -> s
   | _ -> fail "%s: expected a string" ctx
 
-let () =
-  let file =
-    match Sys.argv with
-    | [| _; file |] -> file
-    | _ ->
-        prerr_endline "usage: check_artifact.exe FILE.json";
-        exit 2
-  in
+let load file =
+  if not (Sys.file_exists file) then fail "%s: no such file" file;
   let text =
     let ic = open_in file in
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   in
-  let json =
-    match J.of_string text with
-    | Ok j -> j
-    | Error e -> fail "%s does not parse: %s" file e
-  in
+  match J.of_string text with
+  | Ok j -> j
+  | Error e -> fail "%s does not parse: %s" file e
+
+let gate file =
+  let json = load file in
   let schema = as_string ~ctx:"schema" (member_exn "schema" json ~ctx:file) in
   if schema <> "defender-bench/v1" then
     fail "%s: unexpected schema %S (want \"defender-bench/v1\")" file schema;
@@ -64,6 +65,16 @@ let () =
       (match verdict with
       | "pass" | "info" -> ()
       | "degraded" -> fail "%s: degraded verdict" ctx
+      | "crashed" ->
+          let reason =
+            match J.member "checks" e with
+            | Some checks -> (
+                match J.member "failed_labels" checks with
+                | Some (J.List (J.String r :: _)) -> ": " ^ r
+                | _ -> "")
+            | None -> ""
+          in
+          fail "%s: crashed verdict (worker died)%s" ctx reason
       | other -> fail "%s: unknown verdict %S" ctx other);
       let checks = member_exn "checks" e ~ctx in
       let failed = as_int ~ctx (member_exn "failed" checks ~ctx) in
@@ -75,6 +86,12 @@ let () =
   let s_ctx = file ^ ": summary" in
   let total = as_int ~ctx:s_ctx (member_exn "total" summary ~ctx:s_ctx) in
   let degraded = as_int ~ctx:s_ctx (member_exn "degraded" summary ~ctx:s_ctx) in
+  (* pre-crash-verdict artifacts (BENCH_2/3.json) lack the field: 0 *)
+  let crashed =
+    match J.member "crashed" summary with
+    | Some v -> as_int ~ctx:s_ctx v
+    | None -> 0
+  in
   let checks_failed =
     as_int ~ctx:s_ctx (member_exn "checks_failed" summary ~ctx:s_ctx)
   in
@@ -82,8 +99,59 @@ let () =
     fail "%s: total %d <> %d listed experiments" s_ctx total
       (List.length experiments);
   if degraded <> 0 then fail "%s: %d degraded experiment(s)" s_ctx degraded;
+  if crashed <> 0 then fail "%s: %d crashed experiment(s)" s_ctx crashed;
   if checks_failed <> 0 then fail "%s: %d failed check(s)" s_ctx checks_failed;
   Printf.printf
     "check_artifact: %s ok (%d experiments, schema defender-bench/v1, 0 \
-     degraded, 0 failed checks)\n"
+     degraded, 0 crashed, 0 failed checks)\n"
     file total
+
+let strip file =
+  print_endline
+    (J.to_string ~pretty:true (Harness.Registry.strip_timings (load file)))
+
+let same_stripped a b =
+  let sa = Harness.Registry.strip_timings (load a) in
+  let sb = Harness.Registry.strip_timings (load b) in
+  if sa = sb then
+    Printf.printf "check_artifact: %s and %s agree modulo timing fields\n" a b
+  else begin
+    (* Point at the first differing experiment id, if any, before the
+       generic failure: "they differ" alone is unactionable. *)
+    let ids j =
+      match J.member "experiments" j with
+      | Some (J.List es) ->
+          List.map
+            (fun e ->
+              match J.member "id" e with Some (J.String s) -> s | _ -> "?")
+            es
+      | _ -> []
+    in
+    let culprit =
+      List.find_opt
+        (fun id ->
+          let exp j =
+            match J.member "experiments" j with
+            | Some (J.List es) ->
+                List.find_opt (fun e -> J.member "id" e = Some (J.String id)) es
+            | _ -> None
+          in
+          exp sa <> exp sb)
+        (ids sa @ ids sb)
+    in
+    match culprit with
+    | Some id -> fail "%s and %s differ beyond timing fields (experiment %s)" a b id
+    | None -> fail "%s and %s differ beyond timing fields" a b
+  end
+
+let () =
+  match Sys.argv with
+  | [| _; file |] -> gate file
+  | [| _; "--strip"; file |] -> strip file
+  | [| _; "--same-stripped"; a; b |] -> same_stripped a b
+  | _ ->
+      prerr_endline
+        "usage: check_artifact.exe FILE.json\n\
+        \       check_artifact.exe --strip FILE.json\n\
+        \       check_artifact.exe --same-stripped A.json B.json";
+      exit 2

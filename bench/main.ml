@@ -12,18 +12,26 @@
      dune exec bench/main.exe -- --list             # registered experiments
      dune exec bench/main.exe -- --only T4,F2       # just those experiments
      dune exec bench/main.exe -- --json BENCH_2.json  # write the JSON artifact
+     dune exec bench/main.exe -- --jobs 4           # forked worker pool
+     dune exec bench/main.exe -- --timeout 60       # per-experiment budget
+
+   --jobs N runs the selected experiments across N forked workers
+   (results reassemble in registration order; a worker that dies or
+   exceeds --timeout crashes only its own experiment).  The default
+   --jobs 1 is the in-process sequential runner, byte-identical to the
+   historical output.
 
    Exits 0 when every selected experiment passes, 1 if any verdict is
-   degraded (--force-degrade ID[,ID..] forces that path for testing),
-   2 on usage errors. *)
+   degraded or crashed (--force-degrade / --force-crash ID[,ID..] force
+   those paths for testing), 2 on usage errors. *)
 
 module Runner = Experiments.Runner
 
 let usage () =
   prerr_endline
     "usage: main.exe [tables|figures|micro|smoke|all] [--smoke] [--list]\n\
-    \       [--only ID[,ID..]] [--json FILE] [--force-degrade ID[,ID..]] \
-     [--quiet]"
+    \       [--only ID[,ID..]] [--json FILE] [--jobs N] [--timeout SECS]\n\
+    \       [--force-degrade ID[,ID..]] [--force-crash ID[,ID..]] [--quiet]"
 
 let split_ids s = String.split_on_char ',' s |> List.filter (fun x -> x <> "")
 
@@ -50,8 +58,31 @@ let () =
     | "--force-degrade" :: ids :: rest ->
         opts := { !opts with Runner.force_degrade = split_ids ids };
         parse rest
-    | [ ("--only" | "--json" | "--force-degrade") ] | "--help" :: _ | "-h" :: _
-      ->
+    | "--force-crash" :: ids :: rest ->
+        opts := { !opts with Runner.force_crash = split_ids ids };
+        parse rest
+    | "--jobs" :: count :: rest -> (
+        match int_of_string_opt count with
+        | Some n when n >= 1 ->
+            opts := { !opts with Runner.jobs = n };
+            parse rest
+        | _ ->
+            Printf.eprintf "--jobs: expected a positive integer, got %S\n" count;
+            usage ();
+            exit 2)
+    | "--timeout" :: secs :: rest -> (
+        match float_of_string_opt secs with
+        | Some t when t > 0.0 ->
+            opts := { !opts with Runner.timeout = Some t };
+            parse rest
+        | _ ->
+            Printf.eprintf "--timeout: expected positive seconds, got %S\n" secs;
+            usage ();
+            exit 2)
+    | [ ("--only" | "--json" | "--force-degrade" | "--force-crash" | "--jobs"
+        | "--timeout") ]
+    | "--help" :: _
+    | "-h" :: _ ->
         usage ();
         exit 2
     | sel :: rest when Runner.group_prefixes sel <> None ->

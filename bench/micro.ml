@@ -1,4 +1,4 @@
-(* B0-B13: microbenchmarks and kernel-correctness checks.
+(* B0-B14: microbenchmarks and kernel-correctness checks.
 
    B0 ports the former standalone smoke pass: exact kernel = naive
    equality assertions (payoff tables, incremental deviation chains,
@@ -18,7 +18,12 @@
    B13 gates the numeric tower (lib/rational): the small fast path is
    timed against an in-process copy of the seed's fixed-width arithmetic
    (overhead <= 10% at full scale), promotion cost is reported, and the
-   B7 sweep is compared against the committed BENCH_2.json baseline. *)
+   B7 sweep is compared against the committed BENCH_2.json baseline.
+
+   B14 gates the fault-isolated parallel runner: a 4-worker sweep of a
+   fixed experiment subset must reassemble the timing-stripped
+   sequential artifact byte for byte, with the wall-clock speedup
+   reported as timing cells. *)
 
 open Bechamel
 open Toolkit
@@ -578,6 +583,49 @@ let b13 ctx =
         committed_baseline);
   E.out ctx "\n"
 
+(* --- B14: the parallel runner reproduces the sequential artifact --- *)
+
+(* A fixed, cheap, cross-independent selection: no B-series ids (their
+   speedup pairs share an in-process estimates table that forked workers
+   cannot see), always at Smoke scale so the gate costs the same from a
+   full sweep as from a smoke one. *)
+let b14_ids = [ "T1"; "T2"; "T4"; "F1" ]
+
+let b14 ctx =
+  let module R = Harness.Registry in
+  match R.select ~only:b14_ids with
+  | Error e -> ignore (E.check ctx ~label:("B14: selection failed: " ^ e) false)
+  | Ok exps ->
+      let seq_results, seq_wall =
+        Harness.Timer.time (fun () -> R.run ~scale:E.Smoke exps)
+      in
+      let par_results, par_wall =
+        Harness.Timer.time (fun () -> R.run_parallel ~scale:E.Smoke ~jobs:4 exps)
+      in
+      let stripped results =
+        Harness.Json.to_string ~pretty:true
+          (R.strip_timings (R.report_json ~scale:E.Smoke results))
+      in
+      ignore
+        (E.check ctx ~label:"B14: no crashed verdict in the 4-worker sweep"
+           (List.for_all
+              (fun (r : E.result) -> r.E.verdict <> E.Crashed)
+              par_results));
+      ignore
+        (E.check ctx
+           ~label:
+             "B14: 4-worker artifact byte-identical to sequential (timings \
+              stripped)"
+           (stripped par_results = stripped seq_results));
+      let point w = { E.median = w; min = w; max = w; runs = 1 } in
+      E.record_timing ctx "sequential_sweep" (point seq_wall);
+      E.record_timing ctx "parallel_sweep_jobs4" (point par_wall);
+      E.outf ctx
+        "B14 %d-experiment smoke sweep: sequential %.3fs, 4 workers %.3fs \
+         (%.2fx wall-clock)\n\n"
+        (List.length exps) seq_wall par_wall
+        (if par_wall > 0.0 then seq_wall /. par_wall else Float.nan)
+
 let register () =
   let r ~id ~claim ~expected run =
     Harness.Registry.register
@@ -619,4 +667,12 @@ let register () =
     ~expected:
       "tower/fixed overhead <= 1.10 at full scale; B7 within 10% of the \
        committed artifact; promoting sum completes exactly"
-    b13
+    b13;
+  r ~id:"B14"
+    ~claim:
+      "the fork-based parallel runner (Harness.Parallel) is faithful: a \
+       --jobs 4 sweep reassembles the exact sequential artifact"
+    ~expected:
+      "timing-stripped artifacts byte-identical, no crashed verdicts; \
+       wall-clock speedup reported"
+    b14

@@ -1,9 +1,10 @@
 (* Driver logic shared by bench/main.exe and the CLI `experiments`
    subcommand: registration, selection (legacy group selectors and
-   --only id lists), execution at either scale, JSON artifact emission
-   (with a parse round-trip so a malformed artifact can never be
-   written), and the exit-code policy (nonzero on any degraded
-   verdict). *)
+   --only id lists), execution at either scale — sequentially or across
+   --jobs forked workers with an optional per-experiment --timeout —
+   JSON artifact emission (with a parse round-trip so a malformed
+   artifact can never be written), and the exit-code policy (nonzero on
+   any degraded or crashed verdict). *)
 
 module E = Harness.Experiment
 module R = Harness.Registry
@@ -51,6 +52,11 @@ type opts = {
   force_degrade : string list;
       (** ids whose verdict is forced to Degraded after the run — a
           testing hook for the nonzero-exit path *)
+  jobs : int;  (** worker processes; 1 = in-process sequential run *)
+  timeout : float option;  (** per-experiment wall-clock budget, seconds *)
+  force_crash : string list;
+      (** ids whose worker is killed mid-run — the fault-injection hook
+          for the crash-isolation path (implies forked workers) *)
 }
 
 let default_opts =
@@ -61,6 +67,9 @@ let default_opts =
     json_out = None;
     echo = true;
     force_degrade = [];
+    jobs = 1;
+    timeout = None;
+    force_crash = [];
   }
 
 (* Serialize, then parse what we are about to publish: an artifact that
@@ -96,16 +105,30 @@ let run opts =
       2
   | Some experiments -> (
       let unknown_forced =
-        List.filter (fun id -> R.find id = None) opts.force_degrade
+        List.filter (fun id -> R.find id = None)
+          (opts.force_degrade @ opts.force_crash)
       in
       if unknown_forced <> [] then begin
-        Printf.eprintf "error: --force-degrade: unknown experiment id(s): %s\n"
+        Printf.eprintf
+          "error: --force-degrade/--force-crash: unknown experiment id(s): %s\n"
           (String.concat ", " unknown_forced);
+        2
+      end
+      else if opts.jobs < 1 then begin
+        Printf.eprintf "error: --jobs must be at least 1\n";
+        2
+      end
+      else if (match opts.timeout with Some t -> t <= 0.0 | None -> false)
+      then begin
+        Printf.eprintf "error: --timeout must be positive\n";
         2
       end
       else
         let echo = if opts.echo then print_string else fun _ -> () in
-        let results = R.run ~scale:opts.scale ~echo experiments in
+        let results =
+          R.run_parallel ~scale:opts.scale ~jobs:opts.jobs ?timeout:opts.timeout
+            ~force_crash:opts.force_crash ~echo experiments
+        in
         let results =
           if opts.force_degrade = [] then results
           else
@@ -133,4 +156,4 @@ let run opts =
                     (List.length results));
             if opts.echo then print_string (R.summary_table results);
             let s = R.summarize results in
-            if s.R.degraded > 0 then 1 else 0)
+            if s.R.degraded > 0 || s.R.crashed > 0 then 1 else 0)

@@ -392,7 +392,37 @@ let experiments_cmd =
   let quiet_arg =
     Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress the text rendering.")
   in
-  let run list only json smoke quiet =
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Run experiments across $(docv) forked worker processes (1 = \
+             in-process sequential run; results keep registration order).")
+  in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECS"
+          ~doc:
+            "Per-experiment wall-clock budget; a worker past it is killed and \
+             its experiment reported as crashed.")
+  in
+  let force_crash_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "force-crash" ] ~docv:"IDS"
+          ~doc:
+            "Kill the worker running each listed experiment (fault-injection \
+             test hook for the crash-isolation path).")
+  in
+  let split_ids = function
+    | None -> []
+    | Some ids -> String.split_on_char ',' ids |> List.filter (fun x -> x <> "")
+  in
+  let run list only json smoke quiet jobs timeout force_crash =
     if list then `Ok (print_string (Experiments.Runner.list_text ()))
     else
       let opts =
@@ -400,18 +430,17 @@ let experiments_cmd =
           Experiments.Runner.default_opts with
           Experiments.Runner.scale =
             (if smoke then Harness.Experiment.Smoke else Harness.Experiment.Full);
-          only =
-            (match only with
-            | None -> []
-            | Some ids ->
-                String.split_on_char ',' ids |> List.filter (fun x -> x <> ""));
+          only = split_ids only;
           json_out = json;
           echo = not quiet;
+          jobs;
+          timeout;
+          force_crash = split_ids force_crash;
         }
       in
       match Experiments.Runner.run opts with
       | 0 -> `Ok ()
-      | 1 -> `Error (false, "one or more experiments degraded")
+      | 1 -> `Error (false, "one or more experiments degraded or crashed")
       | _ -> `Error (false, "experiment selection failed")
   in
   Cmd.v
@@ -419,7 +448,10 @@ let experiments_cmd =
        ~doc:
          "Run the registered reproduction experiments (tables, figures, \
           microbenchmarks) and optionally emit the JSON artifact.")
-    Term.(ret (const run $ list_arg $ only_arg $ json_arg $ smoke_arg $ quiet_arg))
+    Term.(
+      ret
+        (const run $ list_arg $ only_arg $ json_arg $ smoke_arg $ quiet_arg
+       $ jobs_arg $ timeout_arg $ force_crash_arg))
 
 let () =
   let info =

@@ -45,15 +45,35 @@ let decode line =
   in
   let n, start =
     if byte 0 < 63 then (byte 0, 1)
-    else ((byte 1 lsl 12) lor (byte 2 lsl 6) lor byte 3, 4)
+    else if byte 1 < 63 then
+      (* '~' prefix: 18-bit size in the next three bytes. *)
+      ((byte 1 lsl 12) lor (byte 2 lsl 6) lor byte 3, 4)
+    else
+      (* "~~" prefix: 36-bit size in the next six bytes.  (byte 1 = 63
+         can only be the second '~' — the 18-bit form would put the top
+         size bits there, and 63 is outside their range.) *)
+      let v = ref 0 in
+      let () =
+        for i = 2 to 7 do
+          v := (!v lsl 6) lor byte i
+        done
+      in
+      (!v, 8)
   in
+  if n > 258047 then invalid_arg "Graph6.decode: graph too large";
   let bits_needed = n * (n - 1) / 2 in
+  let data_bytes = (bits_needed + 5) / 6 in
   let bit idx =
     let b = byte (start + (idx / 6)) in
     (b lsr (5 - (idx mod 6))) land 1
   in
-  if (bits_needed + 5) / 6 > len - start then
+  if data_bytes > len - start then
     invalid_arg "Graph6.decode: truncated adjacency data";
+  if len - start > data_bytes then
+    invalid_arg "Graph6.decode: trailing bytes after adjacency data";
+  let padding = (data_bytes * 6) - bits_needed in
+  if padding > 0 && byte (start + data_bytes - 1) land ((1 lsl padding) - 1) <> 0
+  then invalid_arg "Graph6.decode: nonzero padding bits";
   let edges = ref [] in
   let idx = ref 0 in
   for j = 1 to n - 1 do

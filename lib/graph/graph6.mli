@@ -7,6 +7,10 @@
     form; longer forms are not needed at our scales). *)
 val encode : Graph.t -> string
 
-(** Decode one graph6 line (optional trailing newline tolerated).
+(** Decode one graph6 line (optional trailing newline tolerated).  All
+    three size headers are understood (1-byte, ['~'] 18-bit and ["~~"]
+    36-bit forms); sizes beyond the {!encode} limit are rejected rather
+    than misparsed.  The input must be exact: nonzero padding bits or
+    bytes after the adjacency data are errors.
     @raise Invalid_argument on malformed input. *)
 val decode : string -> Graph.t

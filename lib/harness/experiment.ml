@@ -1,6 +1,6 @@
 type tag = Table | Figure | Micro | Extension
 type scale = Smoke | Full
-type verdict = Pass | Info | Degraded
+type verdict = Pass | Info | Degraded | Crashed
 
 type value =
   | Int of int
@@ -88,13 +88,13 @@ let run ?(scale = Full) (t : t) =
       timings_rev = [];
     }
   in
-  let start = Unix.gettimeofday () in
+  let start = Timer.now () in
   (try t.run ctx
    with exn ->
      let msg = Printf.sprintf "exception: %s" (Printexc.to_string exn) in
      ignore (check ctx ~label:msg false);
      outf ctx "EXPERIMENT %s RAISED: %s\n" t.id (Printexc.to_string exn));
-  let wall = Unix.gettimeofday () -. start in
+  let wall = Timer.now () -. start in
   let verdict =
     if ctx.checks_failed > 0 then Degraded
     else if ctx.checks_total = 0 then Info
@@ -124,6 +124,26 @@ let degrade ~reason r =
     failed_labels = r.failed_labels @ [ reason ];
   }
 
+(* A worker process died (signal, timeout, abnormal exit) before it
+   could report: synthesize the result from the descriptor alone.  The
+   single failed check carries the reason, so artifact consumers that
+   only look at check counters still see the failure. *)
+let crashed (t : t) ~reason ~wall =
+  {
+    id = t.id;
+    claim = t.claim;
+    expected = t.expected;
+    tag = t.tag;
+    verdict = Crashed;
+    checks_total = 1;
+    checks_failed = 1;
+    failed_labels = [ reason ];
+    measures = [];
+    timings = [];
+    text = Printf.sprintf "EXPERIMENT %s CRASHED: %s\n" t.id reason;
+    wall;
+  }
+
 let tag_to_string = function
   | Table -> "table"
   | Figure -> "figure"
@@ -134,6 +154,7 @@ let verdict_to_string = function
   | Pass -> "pass"
   | Info -> "info"
   | Degraded -> "degraded"
+  | Crashed -> "crashed"
 
 let scale_to_string = function Smoke -> "smoke" | Full -> "full"
 
@@ -175,3 +196,120 @@ let result_to_json (r : result) =
         Json.Obj (List.map (fun (k, t) -> (k, timing_to_json t)) r.timings) );
       ("wall_s", Json.Float r.wall);
     ]
+
+(* --- wire codec for worker processes ---
+
+   A worker sends its result back over a pipe as the artifact JSON
+   object plus the text rendering (which the artifact deliberately
+   omits).  The decode is lossless for everything the artifact itself
+   carries: [Rat] comes back as [Str] holding the same "n/d" string and
+   non-finite floats come back as nan, both of which re-render to the
+   identical JSON bytes, so a re-assembled artifact matches a
+   sequentially produced one field for field (timing values aside). *)
+
+let result_to_wire r =
+  match result_to_json r with
+  | Json.Obj fields -> Json.Obj (fields @ [ ("text", Json.String r.text) ])
+  | _ -> assert false
+
+exception Wire of string
+
+let wire_fail fmt = Printf.ksprintf (fun s -> raise (Wire s)) fmt
+
+let result_of_wire json =
+  let field k =
+    match Json.member k json with
+    | Some v -> v
+    | None -> wire_fail "missing field %S" k
+  in
+  let as_string ~what = function
+    | Json.String s -> s
+    | _ -> wire_fail "%s must be a string" what
+  in
+  let as_int ~what = function
+    | Json.Int i -> i
+    | _ -> wire_fail "%s must be an integer" what
+  in
+  let as_float ~what = function
+    | Json.Float f -> f
+    | Json.Int i -> float_of_int i
+    | Json.Null -> Float.nan (* the emitter renders non-finite as null *)
+    | _ -> wire_fail "%s must be a number" what
+  in
+  let tag_of_string = function
+    | "table" -> Table
+    | "figure" -> Figure
+    | "micro" -> Micro
+    | "extension" -> Extension
+    | s -> wire_fail "unknown tag %S" s
+  in
+  let verdict_of_string = function
+    | "pass" -> Pass
+    | "info" -> Info
+    | "degraded" -> Degraded
+    | "crashed" -> Crashed
+    | s -> wire_fail "unknown verdict %S" s
+  in
+  let value_of_json ~what = function
+    | Json.Int i -> Int i
+    | Json.Float f -> Float f
+    | Json.String s -> Str s
+    | Json.Bool b -> Bool b
+    | Json.Null -> Float Float.nan
+    | _ -> wire_fail "%s must be a scalar" what
+  in
+  let timing_of_json ~what j =
+    let cell k = as_float ~what:(what ^ "." ^ k) (
+      match Json.member k j with
+      | Some v -> v
+      | None -> wire_fail "%s: missing %S" what k)
+    in
+    {
+      median = cell "median_s";
+      min = cell "min_s";
+      max = cell "max_s";
+      runs =
+        (match Json.member "runs" j with
+        | Some v -> as_int ~what:(what ^ ".runs") v
+        | None -> wire_fail "%s: missing \"runs\"" what);
+    }
+  in
+  try
+    let checks = field "checks" in
+    let check_field k =
+      match Json.member k checks with
+      | Some v -> v
+      | None -> wire_fail "checks: missing field %S" k
+    in
+    Ok
+      {
+        id = as_string ~what:"id" (field "id");
+        claim = as_string ~what:"claim" (field "claim");
+        expected = as_string ~what:"expected" (field "expected");
+        tag = tag_of_string (as_string ~what:"tag" (field "tag"));
+        verdict = verdict_of_string (as_string ~what:"verdict" (field "verdict"));
+        checks_total = as_int ~what:"checks.total" (check_field "total");
+        checks_failed = as_int ~what:"checks.failed" (check_field "failed");
+        failed_labels =
+          (match check_field "failed_labels" with
+          | Json.List ls ->
+              List.map (fun l -> as_string ~what:"failed label" l) ls
+          | _ -> wire_fail "checks.failed_labels must be a list");
+        measures =
+          (match field "measures" with
+          | Json.Obj fields ->
+              List.map
+                (fun (k, v) -> (k, value_of_json ~what:("measure " ^ k) v))
+                fields
+          | _ -> wire_fail "measures must be an object");
+        timings =
+          (match field "timings" with
+          | Json.Obj fields ->
+              List.map
+                (fun (k, v) -> (k, timing_of_json ~what:("timing " ^ k) v))
+                fields
+          | _ -> wire_fail "timings must be an object");
+        text = as_string ~what:"text" (field "text");
+        wall = as_float ~what:"wall_s" (field "wall_s");
+      }
+  with Wire msg -> Error msg

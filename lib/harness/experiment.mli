@@ -20,8 +20,12 @@ type scale = Smoke | Full
 (** Derived from the check counters: [Pass] when every recorded check
     held, [Degraded] when at least one failed (or the run raised),
     [Info] when the experiment records no checks (timing-only
-    microbenchmarks). *)
-type verdict = Pass | Info | Degraded
+    microbenchmarks).  [Crashed] is never produced by {!run} — it is
+    synthesized (see {!crashed}) when a worker process running the
+    experiment died outright: killed by a signal, out of memory, or past
+    its timeout.  In-process exceptions are [Degraded]; only process
+    death is [Crashed]. *)
+type verdict = Pass | Info | Degraded | Crashed
 
 (** A measured value.  Rationals stay exact ([Exact.Q.t]); they are
     rendered to JSON as strings like ["8/3"]. *)
@@ -101,9 +105,24 @@ val run : ?scale:scale -> t -> result
     exercising the driver's nonzero-exit path). *)
 val degrade : reason:string -> result -> result
 
+(** [crashed t ~reason ~wall] is the result recorded for an experiment
+    whose worker process died before reporting: verdict [Crashed], one
+    failed check labelled [reason], no measures or timings, and a
+    one-line text rendering. *)
+val crashed : t -> reason:string -> wall:float -> result
+
 (** One JSON object per result: id, claim, expected, tag, verdict,
     check counts, measures, timings, wall time. *)
 val result_to_json : result -> Json.t
+
+(** {!result_to_json} plus the ["text"] rendering — the envelope a
+    worker process sends back over its pipe. *)
+val result_to_wire : result -> Json.t
+
+(** Inverse of {!result_to_wire}, up to value typing: [Rat] measures
+    come back as [Str] with the same "n/d" content and non-finite floats
+    as nan, both of which re-render to identical artifact bytes. *)
+val result_of_wire : Json.t -> (result, string) Stdlib.result
 
 val tag_to_string : tag -> string
 val verdict_to_string : verdict -> string

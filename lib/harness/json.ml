@@ -121,11 +121,36 @@ let of_string input =
       Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
       Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
     end
-    else begin
+    else if code < 0x10000 then begin
       Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
       Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
       Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
     end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+  in
+  (* Exactly four hex digits: int_of_string on "0x" ^ hex would also
+     accept underscores and a leading sign, so "\u1_23" must not reach
+     it. *)
+  let hex4 () =
+    if !pos + 4 > n then error "truncated \\u escape";
+    let digit c =
+      match c with
+      | '0' .. '9' -> Char.code c - Char.code '0'
+      | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+      | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+      | _ -> error "invalid \\u escape"
+    in
+    let v = ref 0 in
+    for _ = 1 to 4 do
+      v := (!v lsl 4) lor digit input.[!pos];
+      advance ()
+    done;
+    !v
   in
   let parse_string () =
     expect '"';
@@ -150,12 +175,28 @@ let of_string input =
           | 'b' -> Buffer.add_char buf '\b'; loop ()
           | 'f' -> Buffer.add_char buf '\012'; loop ()
           | 'u' ->
-              if !pos + 4 > n then error "truncated \\u escape";
-              let hex = String.sub input !pos 4 in
-              pos := !pos + 4;
-              (match int_of_string_opt ("0x" ^ hex) with
-              | Some code -> add_utf8 buf code
-              | None -> error "invalid \\u escape");
+              let code = hex4 () in
+              if code >= 0xD800 && code <= 0xDBFF then begin
+                (* High surrogate: must pair with a following \u low
+                   surrogate to form one astral code point — emitting
+                   each half separately would be invalid UTF-8. *)
+                if
+                  !pos + 2 <= n
+                  && input.[!pos] = '\\'
+                  && input.[!pos + 1] = 'u'
+                then begin
+                  pos := !pos + 2;
+                  let low = hex4 () in
+                  if low < 0xDC00 || low > 0xDFFF then
+                    error "invalid low surrogate in \\u escape pair";
+                  add_utf8 buf
+                    (0x10000 + ((code - 0xD800) lsl 10) + (low - 0xDC00))
+                end
+                else error "unpaired high surrogate in \\u escape"
+              end
+              else if code >= 0xDC00 && code <= 0xDFFF then
+                error "unpaired low surrogate in \\u escape"
+              else add_utf8 buf code;
               loop ()
           | _ -> error "invalid escape")
       | c -> Buffer.add_char buf c; loop ()
@@ -169,6 +210,11 @@ let of_string input =
       match peek () with Some ('0' .. '9') -> true | _ -> false
     in
     if not (is_digit ()) then error "invalid number";
+    let leading_zero = input.[!pos] = '0' in
+    advance ();
+    (* JSON grammar: the integer part is either a single 0 or starts
+       with a nonzero digit — "0123" is not a number. *)
+    if leading_zero && is_digit () then error "invalid number: leading zero";
     while is_digit () do advance () done;
     let fractional = ref false in
     if peek () = Some '.' then begin

@@ -23,8 +23,11 @@ val to_string : ?pretty:bool -> t -> string
 
 (** Parse a complete JSON document (surrounding whitespace allowed;
     trailing garbage is an error).  Numbers without [.], [e] or [E]
-    parse as [Int] when they fit, else as [Float]; [\uXXXX] escapes are
-    decoded to UTF-8. *)
+    parse as [Int] when they fit, else as [Float]; leading zeros are
+    rejected per the JSON grammar.  [\uXXXX] escapes are decoded to
+    UTF-8; UTF-16 surrogate pairs combine into the single astral code
+    point they encode, and unpaired surrogates are an error (they have
+    no UTF-8 representation). *)
 val of_string : string -> (t, string) result
 
 (** [member key json] is the value of field [key] when [json] is an

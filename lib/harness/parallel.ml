@@ -1,0 +1,171 @@
+(* Fork-based worker pool.
+
+   Process isolation, not OCaml domains, on purpose: a worker that
+   overflows its stack, trips the OOM killer, or is signalled dies alone
+   — the parent reaps a wait status instead of sharing the fate.  Jobs
+   are closures inherited through fork (nothing is serialized on the way
+   in); results come back over a pipe as a single JSON document, the
+   harness's own wire format rather than Marshal, so a corrupted or
+   truncated payload is a detectable Crashed outcome instead of a
+   segfault in the reader. *)
+
+type outcome =
+  | Completed of Json.t
+  | Crashed of { reason : string; wall : float }
+
+let signal_name s =
+  if s = Sys.sigkill then "SIGKILL"
+  else if s = Sys.sigsegv then "SIGSEGV"
+  else if s = Sys.sigterm then "SIGTERM"
+  else if s = Sys.sigabrt then "SIGABRT"
+  else if s = Sys.sigint then "SIGINT"
+  else if s = Sys.sigill then "SIGILL"
+  else if s = Sys.sigfpe then "SIGFPE"
+  else if s = Sys.sigbus then "SIGBUS"
+  else Printf.sprintf "signal %d" s
+
+type slot = {
+  job : int;
+  pid : int;
+  fd : Unix.file_descr;
+  buf : Buffer.t;
+  started : float;
+  deadline : float option;
+  mutable timed_out : bool;
+}
+
+let rec waitpid_retry pid =
+  try snd (Unix.waitpid [] pid)
+  with Unix.Unix_error (Unix.EINTR, _, _) -> waitpid_retry pid
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let write_all fd s =
+  let bytes = Bytes.unsafe_of_string s in
+  let len = Bytes.length bytes in
+  let written = ref 0 in
+  while !written < len do
+    written := !written + Unix.write fd bytes !written (len - !written)
+  done
+
+let run ~jobs ?timeout count f =
+  if jobs < 1 then invalid_arg "Parallel.run: jobs must be positive";
+  (match timeout with
+  | Some t when t <= 0.0 -> invalid_arg "Parallel.run: timeout must be positive"
+  | _ -> ());
+  if count < 0 then invalid_arg "Parallel.run: negative job count";
+  let results = Array.make (max count 1) None in
+  let in_flight : slot list ref = ref [] in
+  let next = ref 0 in
+  (* Anything buffered on std channels would be duplicated into every
+     worker's address space; flush so a worker that does write and exit
+     cannot replay it. *)
+  let spawn job =
+    flush stdout;
+    flush stderr;
+    let rd, wr = Unix.pipe () in
+    match Unix.fork () with
+    | 0 ->
+        (* Worker.  Close our read end and every other worker's read end
+           (holding one open would delay that worker's EOF until we
+           exit), run the job, ship the JSON, and _exit without running
+           at_exit handlers — the parent owns the std channels. *)
+        close_quietly rd;
+        List.iter (fun s -> close_quietly s.fd) !in_flight;
+        let code =
+          try
+            write_all wr (Json.to_string (f job));
+            0
+          with _ -> 3
+        in
+        close_quietly wr;
+        Unix._exit code
+    | pid ->
+        Unix.close wr;
+        let started = Timer.now () in
+        in_flight :=
+          {
+            job;
+            pid;
+            fd = rd;
+            buf = Buffer.create 1024;
+            started;
+            deadline = Option.map (fun t -> started +. t) timeout;
+            timed_out = false;
+          }
+          :: !in_flight
+  in
+  let chunk = Bytes.create 65536 in
+  let reap slot =
+    let status = waitpid_retry slot.pid in
+    close_quietly slot.fd;
+    let wall = Float.max 0.0 (Timer.now () -. slot.started) in
+    let outcome =
+      if slot.timed_out then
+        Crashed
+          {
+            reason =
+              Printf.sprintf "timed out after %g s (worker killed)"
+                (Option.get timeout);
+            wall;
+          }
+      else
+        match status with
+        | Unix.WEXITED 0 -> (
+            match Json.of_string (Buffer.contents slot.buf) with
+            | Ok json -> Completed json
+            | Error e ->
+                Crashed { reason = "worker result does not parse: " ^ e; wall })
+        | Unix.WEXITED c ->
+            Crashed { reason = Printf.sprintf "worker exited with code %d" c; wall }
+        | Unix.WSIGNALED s ->
+            Crashed { reason = "worker killed by " ^ signal_name s; wall }
+        | Unix.WSTOPPED s ->
+            Crashed { reason = "worker stopped by " ^ signal_name s; wall }
+    in
+    results.(slot.job) <- Some outcome
+  in
+  while !next < count || !in_flight <> [] do
+    while List.length !in_flight < jobs && !next < count do
+      spawn !next;
+      incr next
+    done;
+    let now = Timer.now () in
+    let select_timeout =
+      match
+        List.filter_map
+          (fun s -> if s.timed_out then None else s.deadline)
+          !in_flight
+      with
+      | [] -> -1.0 (* no deadlines pending: block until a worker writes *)
+      | ds -> Float.max 0.0 (List.fold_left Float.min Float.infinity ds -. now)
+    in
+    let readable, _, _ =
+      try Unix.select (List.map (fun s -> s.fd) !in_flight) [] [] select_timeout
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    let finished = ref [] in
+    List.iter
+      (fun slot ->
+        if List.mem slot.fd readable then
+          let k =
+            try Unix.read slot.fd chunk 0 (Bytes.length chunk)
+            with Unix.Unix_error (Unix.EINTR, _, _) -> -1
+          in
+          if k = 0 then finished := slot :: !finished
+          else if k > 0 then Buffer.add_subbytes slot.buf chunk 0 k)
+      !in_flight;
+    let now = Timer.now () in
+    List.iter
+      (fun slot ->
+        match slot.deadline with
+        | Some d when (not slot.timed_out) && now >= d ->
+            slot.timed_out <- true;
+            (try Unix.kill slot.pid Sys.sigkill with Unix.Unix_error _ -> ())
+        | _ -> ())
+      !in_flight;
+    List.iter reap !finished;
+    in_flight := List.filter (fun s -> not (List.memq s !finished)) !in_flight
+  done;
+  Array.init count (fun i ->
+      match results.(i) with Some o -> o | None -> assert false)

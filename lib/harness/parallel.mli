@@ -1,0 +1,29 @@
+(** Fork-based worker pool with per-job timeouts and fault isolation.
+
+    Runs jobs [0 .. count-1] across at most [jobs] concurrent forked
+    worker processes.  Each worker computes its job's JSON payload and
+    sends it back over a pipe ({!Json} wire format — never [Marshal], so
+    a truncated or corrupt payload is detected, not segfaulted on); the
+    parent reassembles outcomes indexed by job, independent of
+    completion order.
+
+    Process isolation is the point: a worker that stack-overflows, is
+    OOM-killed, or exceeds the timeout produces a [Crashed] outcome for
+    its job only — the pool keeps draining the remaining jobs. *)
+
+type outcome =
+  | Completed of Json.t  (** worker exited 0 with a parseable payload *)
+  | Crashed of { reason : string; wall : float }
+      (** worker died (signal, nonzero exit, unparseable payload) or was
+          killed at the timeout; [wall] is seconds from fork to reap *)
+
+(** [run ~jobs ?timeout count f] forks one worker per job (at most
+    [jobs] alive at once, started in job order) and returns the
+    outcome of [f i] for each [i < count].  [timeout] is per job, in
+    seconds; an expired worker is killed with SIGKILL.  [f] runs in the
+    forked child: shared state mutated there is invisible to the parent
+    and to other jobs.
+    @raise Invalid_argument when [jobs < 1], [timeout <= 0] or
+    [count < 0]. *)
+val run :
+  jobs:int -> ?timeout:float -> int -> (int -> Json.t) -> outcome array

@@ -32,6 +32,7 @@ type summary = {
   pass : int;
   info : int;
   degraded : int;
+  crashed : int;
   checks_total : int;
   checks_failed : int;
   wall : float;
@@ -46,6 +47,8 @@ let summarize (results : Experiment.result list) =
         info = acc.info + (if r.verdict = Experiment.Info then 1 else 0);
         degraded =
           acc.degraded + (if r.verdict = Experiment.Degraded then 1 else 0);
+        crashed =
+          acc.crashed + (if r.verdict = Experiment.Crashed then 1 else 0);
         checks_total = acc.checks_total + r.checks_total;
         checks_failed = acc.checks_failed + r.checks_failed;
         wall = acc.wall +. r.wall;
@@ -55,6 +58,7 @@ let summarize (results : Experiment.result list) =
       pass = 0;
       info = 0;
       degraded = 0;
+      crashed = 0;
       checks_total = 0;
       checks_failed = 0;
       wall = 0.0;
@@ -81,11 +85,16 @@ let summary_table (results : Experiment.result list) =
         ])
     results;
   let s = summarize results in
+  (* The crashed count only appears when nonzero, so a healthy sweep's
+     totals line stays byte-identical to the historical rendering. *)
+  let crashed_cell =
+    if s.crashed = 0 then "" else Printf.sprintf ", %d crashed" s.crashed
+  in
   Table.to_string table
   ^ Printf.sprintf
-      "total: %d experiments (%d pass, %d info, %d degraded); checks %d/%d; \
+      "total: %d experiments (%d pass, %d info, %d degraded%s); checks %d/%d; \
        %.2fs\n"
-      s.total s.pass s.info s.degraded
+      s.total s.pass s.info s.degraded crashed_cell
       (s.checks_total - s.checks_failed)
       s.checks_total s.wall
 
@@ -96,6 +105,46 @@ let run ?(scale = Experiment.Full) ?(echo = fun _ -> ()) experiments =
       echo r.Experiment.text;
       r)
     experiments
+
+let run_parallel ?(scale = Experiment.Full) ?(jobs = 1) ?timeout
+    ?(force_crash = []) ?(echo = fun _ -> ()) experiments =
+  if jobs < 1 then invalid_arg "Registry.run_parallel: jobs must be positive";
+  if jobs = 1 && timeout = None && force_crash = [] then
+    (* The degenerate pool is the sequential runner itself — same code
+       path, same streaming echo, byte-identical output. *)
+    run ~scale ~echo experiments
+  else begin
+    let arr = Array.of_list experiments in
+    let outcomes =
+      Parallel.run ~jobs ?timeout (Array.length arr) (fun i ->
+          let e = arr.(i) in
+          if List.mem e.Experiment.id force_crash then
+            (* Fault injection: die the way an OOM-killed worker does,
+               so the isolation path under test is the real one. *)
+            Unix.kill (Unix.getpid ()) Sys.sigkill;
+          Experiment.result_to_wire (Experiment.run ~scale e))
+    in
+    let results =
+      Array.to_list
+        (Array.mapi
+           (fun i outcome ->
+             let e = arr.(i) in
+             match outcome with
+             | Parallel.Completed json -> (
+                 match Experiment.result_of_wire json with
+                 | Ok r -> r
+                 | Error msg ->
+                     Experiment.crashed e
+                       ~reason:("malformed worker result: " ^ msg) ~wall:0.0)
+             | Parallel.Crashed { reason; wall } ->
+                 Experiment.crashed e ~reason ~wall)
+           outcomes)
+    in
+    (* Workers complete in machine order; echo in registration order
+       once the sweep is done, matching the sequential rendering. *)
+    List.iter (fun (r : Experiment.result) -> echo r.Experiment.text) results;
+    results
+  end
 
 let report_json ~scale results =
   let s = summarize results in
@@ -114,8 +163,38 @@ let report_json ~scale results =
             ("pass", Json.Int s.pass);
             ("info", Json.Int s.info);
             ("degraded", Json.Int s.degraded);
+            ("crashed", Json.Int s.crashed);
             ("checks_total", Json.Int s.checks_total);
             ("checks_failed", Json.Int s.checks_failed);
             ("wall_s", Json.Float s.wall);
           ] );
     ]
+
+(* Timing data is the only nondeterminism a healthy artifact contains:
+   wall clocks, Timer cells, and float-valued measures (OLS estimates,
+   speedups, fitted slopes — every float measure in the registry derives
+   from the clock; exact results are Int/Bool/rational-string).  Drop
+   all three and two sweeps of the same registry at the same scale must
+   be byte-identical, however the work was scheduled. *)
+let rec strip_timings json =
+  match json with
+  | Json.Obj fields ->
+      Json.Obj
+        (List.filter_map
+           (fun (k, v) ->
+             match (k, v) with
+             | ("wall_s" | "timings"), _ -> None
+             | "measures", Json.Obj ms ->
+                 Some
+                   ( k,
+                     Json.Obj
+                       (List.filter
+                          (fun (_, v) ->
+                            match v with
+                            | Json.Float _ | Json.Null -> false
+                            | _ -> true)
+                          ms) )
+             | _ -> Some (k, strip_timings v))
+           fields)
+  | Json.List items -> Json.List (List.map strip_timings items)
+  | other -> other

@@ -30,6 +30,7 @@ type summary = {
   pass : int;
   info : int;
   degraded : int;
+  crashed : int;  (** worker processes that died or timed out *)
   checks_total : int;
   checks_failed : int;
   wall : float;  (** summed experiment wall clock, seconds *)
@@ -50,7 +51,35 @@ val run :
     each experiment's text rendering as soon as it completes, so the
     driver can stream the legacy output. *)
 
+val run_parallel :
+  ?scale:Experiment.scale ->
+  ?jobs:int ->
+  ?timeout:float ->
+  ?force_crash:string list ->
+  ?echo:(string -> unit) ->
+  Experiment.t list ->
+  Experiment.result list
+(** Run the experiments across [jobs] (default 1) forked worker
+    processes via {!Parallel}, reassembling results in registration
+    order regardless of completion order.  A worker that dies (signal,
+    OOM kill, stack overflow) or exceeds [timeout] seconds yields an
+    {!Experiment.crashed} result for that experiment only; the sweep
+    still completes.  [force_crash] ids have their worker killed
+    deliberately (fault-injection hook).  With [jobs = 1], no [timeout]
+    and no [force_crash], this {e is} {!run} — no fork, byte-identical
+    streaming output; otherwise [echo] receives the renderings in
+    registration order after the sweep finishes.
+    @raise Invalid_argument when [jobs < 1] or [timeout <= 0]. *)
+
 val report_json :
   scale:Experiment.scale -> Experiment.result list -> Json.t
 (** The full artifact: schema header, one object per experiment (see
     {!Experiment.result_to_json}) and the roll-up summary. *)
+
+val strip_timings : Json.t -> Json.t
+(** Remove every timing-derived field from an artifact: [wall_s] and
+    [timings] everywhere, and float-valued (or null) entries inside
+    [measures] objects — all float measures in the registry derive from
+    the clock, while exact content is [Int]/[Bool]/rational-string.
+    Two sweeps of the same registry at the same scale strip to
+    byte-identical documents regardless of [--jobs]. *)

@@ -1,7 +1,17 @@
+(* The clock is monotonic (CLOCK_MONOTONIC via bechamel's stub): the
+   previous Unix.gettimeofday source is subject to NTP steps, so a clock
+   adjustment mid-measurement could produce negative or wildly skewed
+   durations that flowed straight into time_stats medians and the
+   B-series artifacts.  Durations are additionally clamped at zero as a
+   belt-and-braces guard (a clamp can only fire if the clock source
+   itself misbehaves). *)
+
+let now () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
+
 let time f =
-  let start = Unix.gettimeofday () in
+  let start = now () in
   let result = f () in
-  (result, Unix.gettimeofday () -. start)
+  (result, Float.max 0.0 (now () -. start))
 
 type stats = { median : float; min : float; max : float; runs : int }
 

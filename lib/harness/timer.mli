@@ -1,7 +1,15 @@
 (** Wall-clock timing helpers for the scaling figures (Bechamel handles
-    the microbenchmarks; these cover one-shot algorithm timings). *)
+    the microbenchmarks; these cover one-shot algorithm timings).
 
-(** [time f] is [(result, seconds)]. *)
+    All readings come from the system's monotonic clock, not from
+    [Unix.gettimeofday]: an NTP step cannot produce negative or skewed
+    durations here.  Durations are clamped at zero regardless. *)
+
+(** Monotonic timestamp in seconds.  The epoch is arbitrary (boot time on
+    Linux) — only differences between two [now] readings are meaningful. *)
+val now : unit -> float
+
+(** [time f] is [(result, seconds)].  [seconds >= 0.] always. *)
 val time : (unit -> 'a) -> 'a * float
 
 (** Median-of-[repeat] timing in seconds (default 5), discarding results. *)

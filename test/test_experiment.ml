@@ -80,6 +80,48 @@ let test_json_parse () =
   Alcotest.(check bool) "missing comma rejected" true
     (Result.is_error (J.of_string "[1 2]"))
 
+let test_json_surrogates () =
+  (* A UTF-16 surrogate pair must combine into one astral code point:
+     U+1F600 is \ud83d\ude00 and encodes as 4 UTF-8 bytes. *)
+  (match J.of_string "\"\\ud83d\\ude00\"" with
+  | Ok (J.String s) ->
+      Alcotest.(check string) "pair combines to U+1F600" "\xf0\x9f\x98\x80" s
+  | Ok _ -> Alcotest.fail "surrogate pair decoded to non-string"
+  | Error e -> Alcotest.failf "surrogate pair rejected: %s" e);
+  (* the emitter must round-trip the 4-byte sequence unharmed *)
+  (match J.of_string (J.to_string (J.String "\xf0\x9f\x98\x80")) with
+  | Ok (J.String "\xf0\x9f\x98\x80") -> ()
+  | _ -> Alcotest.fail "astral code point does not round-trip");
+  Alcotest.(check bool) "lone high surrogate rejected" true
+    (Result.is_error (J.of_string "\"\\ud83d\""));
+  Alcotest.(check bool) "high surrogate + non-escape rejected" true
+    (Result.is_error (J.of_string "\"\\ud83dx\""));
+  Alcotest.(check bool) "high surrogate + non-low escape rejected" true
+    (Result.is_error (J.of_string "\"\\ud83d\\u0041\""));
+  Alcotest.(check bool) "lone low surrogate rejected" true
+    (Result.is_error (J.of_string "\"\\ude00\""))
+
+let test_json_strict_numbers () =
+  (* OCaml's float_of_string accepts underscores and leading zeros; the
+     JSON grammar does not, and the parser must not inherit the leniency. *)
+  Alcotest.(check bool) "underscore in \\u hex rejected" true
+    (Result.is_error (J.of_string "\"\\u1_23\""));
+  Alcotest.(check bool) "underscore in number rejected" true
+    (Result.is_error (J.of_string "1_000"));
+  Alcotest.(check bool) "leading zero rejected" true
+    (Result.is_error (J.of_string "0123"));
+  Alcotest.(check bool) "negative leading zero rejected" true
+    (Result.is_error (J.of_string "-012"));
+  Alcotest.(check bool) "bare zero accepted" true
+    (J.of_string "0" = Ok (J.Int 0));
+  Alcotest.(check bool) "negative zero accepted" true
+    (Result.is_ok (J.of_string "-0"));
+  Alcotest.(check bool) "zero-point-five accepted" true
+    (J.of_string "0.5" = Ok (J.Float 0.5));
+  Alcotest.(check bool) "zero exponent accepted" true
+    (J.of_string "0e2" = Ok (J.Float 0.0));
+  Alcotest.(check bool) "ten accepted" true (J.of_string "10" = Ok (J.Int 10))
+
 let test_json_member () =
   let v = J.Obj [ ("a", J.Int 1); ("b", J.String "x") ] in
   Alcotest.(check bool) "present" true (J.member "b" v = Some (J.String "x"));
@@ -176,6 +218,57 @@ let test_result_json () =
       | Ok j'' -> Alcotest.(check bool) "round-trips" true (j' = j'')
       | Error e -> Alcotest.failf "re-rendered json does not parse: %s" e)
 
+let test_wire_roundtrip () =
+  let r =
+    E.run
+      (descr ~id:"X8" (fun ctx ->
+           E.out ctx "wire me\n";
+           ignore (E.check ctx ~label:"good" true);
+           ignore (E.check ctx ~label:"bad" false);
+           E.measure ctx "n" (E.Int 7);
+           E.measure ctx "q" (E.Rat (Exact.Q.make 8 3));
+           E.measure ctx "name" (E.Str "8/3");
+           E.measure ctx "flag" (E.Bool false);
+           E.measure ctx "x" (E.Float 1.25);
+           E.record_timing ctx "step"
+             { Harness.Timer.median = 0.25; min = 0.2; max = 0.3; runs = 5 }))
+  in
+  match E.result_of_wire (E.result_to_wire r) with
+  | Error e -> Alcotest.failf "wire decode failed: %s" e
+  | Ok r' ->
+      Alcotest.(check string) "id" r.E.id r'.E.id;
+      Alcotest.(check bool) "verdict" true (r.E.verdict = r'.E.verdict);
+      Alcotest.(check int) "checks total" r.E.checks_total r'.E.checks_total;
+      Alcotest.(check (list string)) "failed labels" r.E.failed_labels
+        r'.E.failed_labels;
+      Alcotest.(check string) "text survives" r.E.text r'.E.text;
+      Alcotest.(check bool) "timings" true (r.E.timings = r'.E.timings);
+      (* Rat comes back as Str with the same rendering — by design the
+         re-emitted artifact bytes are identical even though the OCaml
+         value typing is lossy. *)
+      Alcotest.(check bool) "artifact bytes identical" true
+        (J.to_string (E.result_to_json r) = J.to_string (E.result_to_json r'));
+      Alcotest.(check bool) "rat decodes as its string rendering" true
+        (List.assoc "q" r'.E.measures = E.Str "8/3")
+
+let test_wire_rejects_garbage () =
+  Alcotest.(check bool) "non-object rejected" true
+    (Result.is_error (E.result_of_wire (J.Int 3)));
+  Alcotest.(check bool) "missing fields rejected" true
+    (Result.is_error (E.result_of_wire (J.Obj [ ("id", J.String "X") ])))
+
+let test_crashed_constructor () =
+  let t = descr ~id:"X9" (fun _ -> ()) in
+  let r = E.crashed t ~reason:"worker killed by SIGKILL" ~wall:0.5 in
+  Alcotest.(check bool) "verdict crashed" true (r.E.verdict = E.Crashed);
+  Alcotest.(check string) "verdict renders" "crashed"
+    (E.verdict_to_string E.Crashed);
+  Alcotest.(check int) "one failed check" 1 r.E.checks_failed;
+  Alcotest.(check (list string)) "reason is the failed label"
+    [ "worker killed by SIGKILL" ] r.E.failed_labels;
+  Alcotest.(check bool) "text names the experiment and reason" true
+    (contains r.E.text "X9" && contains r.E.text "SIGKILL")
+
 (* --- Registry --- *)
 
 let with_clean_registry f =
@@ -236,6 +329,141 @@ let test_registry_run_and_summary () =
           Alcotest.(check string) "schema tag" "defender-bench/v1" s
       | _ -> Alcotest.fail "no schema tag")
 
+(* --- Parallel runner --- *)
+
+let find_result id results =
+  match List.find_opt (fun (r : E.result) -> r.E.id = id) results with
+  | Some r -> r
+  | None -> Alcotest.failf "no result for %s" id
+
+let test_parallel_matches_sequential () =
+  with_clean_registry (fun () ->
+      (* deterministic experiments only: text, checks and exact measures
+         must agree between the in-process and forked runs *)
+      for i = 1 to 5 do
+        let id = Printf.sprintf "P%d" i in
+        R.register
+          (descr ~id (fun ctx ->
+               E.outf ctx "result %d\n" (i * i);
+               ignore (E.check ctx ~label:"square" (i * i = i * i));
+               E.measure ctx "sq" (E.Int (i * i));
+               E.measure ctx "q" (E.Rat (Exact.Q.make i (i + 1)))))
+      done;
+      let seq = R.run ~echo:ignore (R.all ()) in
+      let par = R.run_parallel ~jobs:3 ~echo:ignore (R.all ()) in
+      Alcotest.(check (list string)) "registration order kept"
+        (List.map (fun (r : E.result) -> r.E.id) seq)
+        (List.map (fun (r : E.result) -> r.E.id) par);
+      let strip results =
+        J.to_string (R.strip_timings (R.report_json ~scale:E.Full results))
+      in
+      Alcotest.(check string) "stripped artifacts byte-identical" (strip seq)
+        (strip par);
+      Alcotest.(check bool) "no crashes" true
+        ((R.summarize par).R.crashed = 0))
+
+let test_parallel_crash_isolation () =
+  with_clean_registry (fun () ->
+      List.iter
+        (fun id ->
+          R.register
+            (descr ~id (fun ctx -> ignore (E.check ctx ~label:"fine" true))))
+        [ "C1"; "C2"; "C3" ];
+      let results =
+        R.run_parallel ~jobs:2 ~force_crash:[ "C2" ] ~echo:ignore (R.all ())
+      in
+      let c2 = find_result "C2" results in
+      Alcotest.(check bool) "forced experiment crashed" true
+        (c2.E.verdict = E.Crashed);
+      Alcotest.(check bool) "reason names the signal" true
+        (List.exists (fun l -> contains l "SIGKILL") c2.E.failed_labels);
+      List.iter
+        (fun id ->
+          Alcotest.(check bool) (id ^ " unaffected") true
+            ((find_result id results).E.verdict = E.Pass))
+        [ "C1"; "C3" ];
+      let s = R.summarize results in
+      Alcotest.(check int) "summary counts the crash" 1 s.R.crashed;
+      Alcotest.(check int) "others pass" 2 s.R.pass;
+      Alcotest.(check bool) "summary table reports it" true
+        (contains (R.summary_table results) "1 crashed");
+      (* the artifact with a crashed verdict still round-trips (one
+         canonicalization pass first: wall clocks are arbitrary floats,
+         so the initial %.12g render may round) *)
+      let report =
+        match J.of_string (J.to_string ~pretty:true (R.report_json ~scale:E.Full results)) with
+        | Ok j -> j
+        | Error e -> Alcotest.failf "crashed artifact does not parse: %s" e
+      in
+      match J.of_string (J.to_string ~pretty:true report) with
+      | Ok report' -> (
+          Alcotest.(check bool) "artifact round-trips" true (report = report');
+          match J.member "summary" report with
+          | Some s ->
+              Alcotest.(check bool) "summary json has crashed=1" true
+                (J.member "crashed" s = Some (J.Int 1))
+          | None -> Alcotest.fail "no summary")
+      | Error e -> Alcotest.failf "crashed artifact does not parse: %s" e)
+
+let test_parallel_timeout () =
+  with_clean_registry (fun () ->
+      R.register
+        (descr ~id:"Q1" (fun ctx -> ignore (E.check ctx ~label:"fast" true)));
+      R.register
+        (descr ~id:"Q2" (fun _ ->
+             (* signal-free sleep; would run for 30 s without the budget *)
+             ignore (Unix.select [] [] [] 30.0)));
+      let results =
+        R.run_parallel ~jobs:2 ~timeout:0.2 ~echo:ignore (R.all ())
+      in
+      let q2 = find_result "Q2" results in
+      Alcotest.(check bool) "sleeper crashed" true (q2.E.verdict = E.Crashed);
+      Alcotest.(check bool) "reason says timed out" true
+        (List.exists (fun l -> contains l "timed out") q2.E.failed_labels);
+      Alcotest.(check bool) "fast sibling unaffected" true
+        ((find_result "Q1" results).E.verdict = E.Pass))
+
+let test_strip_timings () =
+  let artifact =
+    J.Obj
+      [
+        ("schema", J.String "defender-bench/v1");
+        ( "experiments",
+          J.List
+            [
+              J.Obj
+                [
+                  ("id", J.String "T1");
+                  ( "measures",
+                    J.Obj
+                      [
+                        ("rows", J.Int 44);
+                        ("ns_per_run", J.Float 123.4);
+                        ("gain", J.String "8/3");
+                        ("skipped", J.Null);
+                      ] );
+                  ("timings", J.Obj [ ("kernel", J.Obj []) ]);
+                  ("wall_s", J.Float 0.5);
+                ];
+            ] );
+        ("wall_s", J.Float 1.5);
+      ]
+  in
+  match R.strip_timings artifact with
+  | J.Obj [ ("schema", _); ("experiments", J.List [ J.Obj fields ]) ] ->
+      Alcotest.(check bool) "wall_s and timings dropped" true
+        (not
+           (List.exists
+              (fun (k, _) -> k = "wall_s" || k = "timings")
+              fields));
+      (match List.assoc "measures" fields with
+      | J.Obj m ->
+          Alcotest.(check (list string))
+            "float/null measures dropped, exact content kept"
+            [ "rows"; "gain" ] (List.map fst m)
+      | _ -> Alcotest.fail "measures not an object")
+  | _ -> Alcotest.fail "unexpected stripped shape"
+
 let test_registry_filter_tag () =
   with_clean_registry (fun () ->
       R.register { (descr ~id:"M1" (fun _ -> ())) with E.tag = E.Micro };
@@ -272,6 +500,8 @@ let () =
           Alcotest.test_case "nesting" `Quick test_json_nesting;
           Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
           Alcotest.test_case "parse" `Quick test_json_parse;
+          Alcotest.test_case "surrogate pairs" `Quick test_json_surrogates;
+          Alcotest.test_case "strict numbers" `Quick test_json_strict_numbers;
           Alcotest.test_case "member" `Quick test_json_member;
         ] );
       ( "experiment",
@@ -283,6 +513,11 @@ let () =
           Alcotest.test_case "scale" `Quick test_experiment_scale;
           Alcotest.test_case "degrade hook" `Quick test_experiment_degrade_hook;
           Alcotest.test_case "result json" `Quick test_result_json;
+          Alcotest.test_case "wire round-trip" `Quick test_wire_roundtrip;
+          Alcotest.test_case "wire rejects garbage" `Quick
+            test_wire_rejects_garbage;
+          Alcotest.test_case "crashed constructor" `Quick
+            test_crashed_constructor;
         ] );
       ( "registry",
         [
@@ -290,6 +525,15 @@ let () =
           Alcotest.test_case "select" `Quick test_registry_select;
           Alcotest.test_case "run + summary" `Quick test_registry_run_and_summary;
           Alcotest.test_case "filter tag" `Quick test_registry_filter_tag;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "matches sequential" `Quick
+            test_parallel_matches_sequential;
+          Alcotest.test_case "crash isolation" `Quick
+            test_parallel_crash_isolation;
+          Alcotest.test_case "timeout" `Quick test_parallel_timeout;
+          Alcotest.test_case "strip timings" `Quick test_strip_timings;
         ] );
       ("timer", [ Alcotest.test_case "time_stats" `Quick test_time_stats ]);
     ]

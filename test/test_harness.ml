@@ -152,6 +152,22 @@ let test_timer () =
     (Invalid_argument "Timer.time_median: repeat must be positive") (fun () ->
       ignore (Harness.Timer.time_median ~repeat:0 (fun () -> ())))
 
+let test_timer_monotonic () =
+  (* Timer.now reads CLOCK_MONOTONIC: successive samples never go
+     backwards (gettimeofday, the old source, can — NTP slews it), and
+     measured durations are always non-negative. *)
+  let prev = ref (Harness.Timer.now ()) in
+  for _ = 1 to 1000 do
+    let t = Harness.Timer.now () in
+    if t < !prev then
+      Alcotest.failf "clock went backwards: %.9f after %.9f" t !prev;
+    prev := t
+  done;
+  for _ = 1 to 100 do
+    let _, elapsed = Harness.Timer.time (fun () -> Sys.opaque_identity ()) in
+    Alcotest.(check bool) "duration non-negative" true (elapsed >= 0.0)
+  done
+
 let () =
   Alcotest.run "harness"
     [
@@ -173,5 +189,9 @@ let () =
           Alcotest.test_case "non-finite guards" `Quick test_non_finite_guards;
           Alcotest.test_case "power law" `Quick test_power_law;
         ] );
-      ("timer", [ Alcotest.test_case "timing" `Quick test_timer ]);
+      ( "timer",
+        [
+          Alcotest.test_case "timing" `Quick test_timer;
+          Alcotest.test_case "monotonic" `Quick test_timer_monotonic;
+        ] );
     ]

@@ -35,6 +35,36 @@ let test_graph6_large_n_form () =
   Alcotest.(check int) "marker 126" 126 (Char.code encoded.[0]);
   Alcotest.(check bool) "roundtrip" true (Graph.equal g (Graph6.decode encoded))
 
+(* Rewrite an encoding's size header into the "~~" 36-bit long form
+   (the encoder never emits it — n is capped well below 2^18 — but the
+   decoder must accept it: nauty writes it for huge graphs). *)
+let to_long_form encoded =
+  let n, data_start =
+    let b i = Char.code encoded.[i] - 63 in
+    if b 0 < 63 then (b 0, 1)
+    else ((b 1 lsl 12) lor (b 2 lsl 6) lor b 3, 4)
+  in
+  let header = Bytes.make 8 '~' in
+  for i = 0 to 5 do
+    Bytes.set header (2 + i) (Char.chr (((n lsr ((5 - i) * 6)) land 63) + 63))
+  done;
+  Bytes.to_string header
+  ^ String.sub encoded data_start (String.length encoded - data_start)
+
+let test_graph6_long_form () =
+  (* Regression: the second byte of "~~" is 126, which the pre-fix
+     decoder read as the top chunk of an 18-bit size, yielding a bogus
+     ~256k-vertex graph.  K2 in long form is "~~?????A_". *)
+  Alcotest.(check bool) "K2 long form" true
+    (Graph.equal (Graph6.decode "~~?????A_") (Gen.path 2));
+  List.iter
+    (fun (name, g) ->
+      Alcotest.(check bool)
+        (name ^ " long-form decode")
+        true
+        (Graph.equal g (Graph6.decode (to_long_form (Graph6.encode g)))))
+    [ ("C100", Gen.cycle 100) ]
+
 let test_graph6_rejects_malformed () =
   Alcotest.check_raises "empty" (Invalid_argument "Graph6.decode: empty input")
     (fun () -> ignore (Graph6.decode ""));
@@ -42,7 +72,22 @@ let test_graph6_rejects_malformed () =
     (Invalid_argument "Graph6.decode: truncated adjacency data") (fun () ->
       ignore (Graph6.decode "D"));
   Alcotest.check_raises "bad char" (Invalid_argument "Graph6.decode: invalid character")
-    (fun () -> ignore (Graph6.decode "A\x01"))
+    (fun () -> ignore (Graph6.decode "A\x01"));
+  (* strict conformance: a decode-encode round trip must be the identity
+     on the input string, so padding bits and trailing bytes are errors *)
+  Alcotest.check_raises "nonzero padding"
+    (Invalid_argument "Graph6.decode: nonzero padding bits") (fun () ->
+      (* K2's single adjacency bit plus a stray bit in the padding *)
+      ignore (Graph6.decode "A`"));
+  Alcotest.check_raises "trailing bytes"
+    (Invalid_argument "Graph6.decode: trailing bytes after adjacency data")
+    (fun () -> ignore (Graph6.decode "A_?"));
+  Alcotest.check_raises "truncated long-form header"
+    (Invalid_argument "Graph6.decode: truncated input") (fun () ->
+      ignore (Graph6.decode "~~???"));
+  Alcotest.check_raises "oversize long form"
+    (Invalid_argument "Graph6.decode: graph too large") (fun () ->
+      ignore (Graph6.decode "~~~~~~~~"))
 
 let graph6_props =
   let gen =
@@ -59,6 +104,11 @@ let graph6_props =
     QCheck.Test.make ~name:"graph6 output is printable ASCII" ~count:100 gen (fun g ->
         String.for_all (fun c -> Char.code c >= 63 && Char.code c <= 126)
           (Graph6.encode g));
+    (* strictness makes decode a left inverse of encode on strings too *)
+    QCheck.Test.make ~name:"graph6 decode-encode is string identity" ~count:100
+      gen (fun g ->
+        let s = Graph6.encode g in
+        Graph6.encode (Graph6.decode s) = s);
   ]
 
 (* --- weighted attackers --- *)
@@ -176,6 +226,7 @@ let () =
           Alcotest.test_case "known vectors" `Quick test_graph6_known_vectors;
           Alcotest.test_case "atlas roundtrip" `Quick test_graph6_roundtrip_families;
           Alcotest.test_case "large-n form" `Quick test_graph6_large_n_form;
+          Alcotest.test_case "long form (~~)" `Quick test_graph6_long_form;
           Alcotest.test_case "rejects malformed" `Quick test_graph6_rejects_malformed;
         ] );
       ( "weighted",
