@@ -10,11 +10,17 @@
 
    The gate exits 0 when the artifact is well-formed, non-empty, and
    contains no degraded or crashed verdict and no failed check; exit 1
-   with a diagnostic otherwise.  --strip prints the artifact with every
-   timing-derived field removed (Registry.strip_timings: wall clocks,
-   Timer cells, float measures), the normal form under which sequential
-   and --jobs N sweeps of the same registry must agree; --same-stripped
-   asserts exactly that for two artifact files. *)
+   with a diagnostic otherwise.  Per-experiment "metrics" objects (only
+   present on --metrics/--trace sweeps) are shape-checked too.  --strip
+   prints the artifact with every nondeterministic field removed
+   (Registry.strip_timings: wall clocks, Timer cells, float measures,
+   span durations and volatile counters — deterministic counters stay),
+   the normal form under which sequential and --jobs N sweeps of the
+   same registry must agree; --same-stripped asserts exactly that for
+   two artifact files.
+
+   The field-by-field contract this program checks is documented in the
+   "Artifact schema" section of EXPERIMENTS.md; keep the two in sync. *)
 
 module J = Harness.Json
 
@@ -80,7 +86,32 @@ let gate file =
       let failed = as_int ~ctx (member_exn "failed" checks ~ctx) in
       if failed > 0 then fail "%s: %d failed check(s)" ctx failed;
       ignore (member_exn "measures" e ~ctx);
-      ignore (member_exn "wall_s" e ~ctx))
+      ignore (member_exn "wall_s" e ~ctx);
+      (* Optional metrics object: three sections, positive integer
+         counters, spans with a positive "count" (and optionally a
+         "total_s" duration, present only on --trace sweeps). *)
+      match J.member "metrics" e with
+      | None -> ()
+      | Some m ->
+          let section k =
+            match J.member k m with
+            | Some (J.Obj fields) -> fields
+            | Some _ -> fail "%s: metrics.%s is not an object" ctx k
+            | None -> fail "%s: metrics is missing section %S" ctx k
+          in
+          List.iter
+            (fun (name, v) ->
+              match v with
+              | J.Int n when n > 0 -> ()
+              | J.Int _ -> fail "%s: metrics counter %s is not positive" ctx name
+              | _ -> fail "%s: metrics counter %s is not an integer" ctx name)
+            (section "counters" @ section "volatile");
+          List.iter
+            (fun (name, v) ->
+              match J.member "count" v with
+              | Some (J.Int n) when n > 0 -> ()
+              | _ -> fail "%s: metrics span %s lacks a positive count" ctx name)
+            (section "spans"))
     experiments;
   let summary = member_exn "summary" json ~ctx:file in
   let s_ctx = file ^ ": summary" in

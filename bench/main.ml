@@ -14,6 +14,8 @@
      dune exec bench/main.exe -- --json BENCH_2.json  # write the JSON artifact
      dune exec bench/main.exe -- --jobs 4           # forked worker pool
      dune exec bench/main.exe -- --timeout 60       # per-experiment budget
+     dune exec bench/main.exe -- --metrics          # record Obs counters
+     dune exec bench/main.exe -- --trace            # + span wall time
 
    --jobs N runs the selected experiments across N forked workers
    (results reassemble in registration order; a worker that dies or
@@ -31,6 +33,7 @@ let usage () =
   prerr_endline
     "usage: main.exe [tables|figures|micro|smoke|all] [--smoke] [--list]\n\
     \       [--only ID[,ID..]] [--json FILE] [--jobs N] [--timeout SECS]\n\
+    \       [--metrics] [--trace]\n\
     \       [--force-degrade ID[,ID..]] [--force-crash ID[,ID..]] [--quiet]"
 
 let split_ids s = String.split_on_char ',' s |> List.filter (fun x -> x <> "")
@@ -48,6 +51,12 @@ let () =
         parse rest
     | "--quiet" :: rest ->
         opts := { !opts with Runner.echo = false };
+        parse rest
+    | "--metrics" :: rest ->
+        opts := { !opts with Runner.metrics = true };
+        parse rest
+    | "--trace" :: rest ->
+        opts := { !opts with Runner.trace = true };
         parse rest
     | "--only" :: ids :: rest ->
         opts := { !opts with Runner.only = split_ids ids };

@@ -2,9 +2,11 @@
    subcommand: registration, selection (legacy group selectors and
    --only id lists), execution at either scale — sequentially or across
    --jobs forked workers with an optional per-experiment --timeout —
-   JSON artifact emission (with a parse round-trip so a malformed
-   artifact can never be written), and the exit-code policy (nonzero on
-   any degraded or crashed verdict). *)
+   optional observability recording (--metrics counters, --trace span
+   durations: a metrics object per experiment in the artifact and a
+   summed table after the summary), JSON artifact emission (with a
+   parse round-trip so a malformed artifact can never be written), and
+   the exit-code policy (nonzero on any degraded or crashed verdict). *)
 
 module E = Harness.Experiment
 module R = Harness.Registry
@@ -57,6 +59,10 @@ type opts = {
   force_crash : string list;
       (** ids whose worker is killed mid-run — the fault-injection hook
           for the crash-isolation path (implies forked workers) *)
+  metrics : bool;
+      (** record Obs counters: a metrics object per experiment in the
+          artifact, plus a summed table after the summary *)
+  trace : bool;  (** additionally accumulate span wall time (implies metrics) *)
 }
 
 let default_opts =
@@ -70,6 +76,8 @@ let default_opts =
     jobs = 1;
     timeout = None;
     force_crash = [];
+    metrics = false;
+    trace = false;
   }
 
 (* Serialize, then parse what we are about to publish: an artifact that
@@ -124,10 +132,29 @@ let run opts =
         2
       end
       else
+        let module Obs = Harness.Obs in
+        let ambient = Obs.level () in
+        if opts.trace then Obs.set_level Obs.Trace
+        else if opts.metrics then Obs.set_level Obs.Counters;
+        Fun.protect ~finally:(fun () -> Obs.set_level ambient) @@ fun () ->
+        (* In forked mode the parent performs no experiment work, so its
+           own delta is exactly the orchestration-side story (pool
+           spawns, timeout kills, pipe bytes) — worth a table row.  In
+           the in-process sequential run the same delta would merely
+           double-count every experiment, so it is not collected. *)
+        let forked =
+          opts.jobs > 1 || opts.timeout <> None || opts.force_crash <> []
+        in
+        let driver_snap =
+          if forked && Obs.recording () then Some (Obs.snapshot ()) else None
+        in
         let echo = if opts.echo then print_string else fun _ -> () in
         let results =
           R.run_parallel ~scale:opts.scale ~jobs:opts.jobs ?timeout:opts.timeout
             ~force_crash:opts.force_crash ~echo experiments
+        in
+        let driver =
+          Option.map (fun snap -> E.metrics_of_obs (Obs.delta snap)) driver_snap
         in
         let results =
           if opts.force_degrade = [] then results
@@ -155,5 +182,7 @@ let run opts =
                   Printf.printf "wrote %s (%d experiments)\n\n" path
                     (List.length results));
             if opts.echo then print_string (R.summary_table results);
+            if opts.echo && (opts.metrics || opts.trace) then
+              print_string (R.metrics_table ?driver results);
             let s = R.summarize results in
             if s.R.degraded > 0 || s.R.crashed > 0 then 1 else 0)

@@ -58,6 +58,40 @@ let handle f = try `Ok (f ()) with
   | Invalid_argument msg | Failure msg ->
       `Error (false, msg)
 
+(* Observability flags, shared by the compute-heavy subcommands: run the
+   body with recording on and print the summed counter/span tables
+   afterwards.  The experiments subcommand instead threads the flags
+   through Runner.opts so the artifact carries per-experiment metrics. *)
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Record observability counters and print the summed table.")
+
+let trace_arg =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:
+          "Additionally accumulate span wall time (implies $(b,--metrics)).")
+
+let with_obs ~metrics ~trace f =
+  let module Obs = Harness.Obs in
+  if not (metrics || trace) then f ()
+  else begin
+    let ambient = Obs.level () in
+    Obs.set_level (if trace then Obs.Trace else Obs.Counters);
+    Fun.protect ~finally:(fun () -> Obs.set_level ambient) @@ fun () ->
+    let snap = Obs.snapshot () in
+    let result = f () in
+    let d = Obs.delta snap in
+    if not (Obs.is_empty d) then
+      print_string
+        (Harness.Registry.metrics_table
+           ~driver:(Harness.Experiment.metrics_of_obs d) []);
+    result
+  end
+
 (* gen *)
 let gen_cmd =
   let out_arg =
@@ -197,8 +231,9 @@ let fp_cmd =
   let rounds_arg =
     Arg.(value & opt int 20_000 & info [ "rounds" ] ~docv:"N" ~doc:"Play rounds.")
   in
-  let run file family seed nu k rounds =
+  let run file family seed nu k rounds metrics trace =
     handle (fun () ->
+        with_obs ~metrics ~trace @@ fun () ->
         let g = load_graph file family seed in
         let m = Defender.Model.make ~graph:g ~nu ~k in
         let r = Sim.Fictitious.run (Prng.Rng.create seed) m ~rounds in
@@ -218,7 +253,9 @@ let fp_cmd =
   in
   Cmd.v (Cmd.info "fp" ~doc:"Fictitious-play learning dynamics.")
     Term.(
-      ret (const run $ file_arg $ family_arg $ seed_arg $ nu_arg $ k_arg $ rounds_arg))
+      ret
+        (const run $ file_arg $ family_arg $ seed_arg $ nu_arg $ k_arg $ rounds_arg
+       $ metrics_arg $ trace_arg))
 
 (* pure *)
 let pure_cmd =
@@ -258,8 +295,9 @@ let solve_cmd =
       & opt (some string) None
       & info [ "save" ] ~docv:"FILE" ~doc:"Write the equilibrium profile to FILE.")
   in
-  let run file family seed nu k verify save =
+  let run file family seed nu k verify save metrics trace =
     handle (fun () ->
+        with_obs ~metrics ~trace @@ fun () ->
         let g = load_graph file family seed in
         let m = Defender.Model.make ~graph:g ~nu ~k in
         match Defender.Tuple_nash.a_tuple_auto m with
@@ -287,7 +325,7 @@ let solve_cmd =
     Term.(
       ret
         (const run $ file_arg $ family_arg $ seed_arg $ nu_arg $ k_arg $ verify_arg
-       $ save_arg))
+       $ save_arg $ metrics_arg $ trace_arg))
 
 (* verify: re-check a saved profile *)
 let verify_cmd =
@@ -422,7 +460,7 @@ let experiments_cmd =
     | None -> []
     | Some ids -> String.split_on_char ',' ids |> List.filter (fun x -> x <> "")
   in
-  let run list only json smoke quiet jobs timeout force_crash =
+  let run list only json smoke quiet jobs timeout force_crash metrics trace =
     if list then `Ok (print_string (Experiments.Runner.list_text ()))
     else
       let opts =
@@ -436,6 +474,8 @@ let experiments_cmd =
           jobs;
           timeout;
           force_crash = split_ids force_crash;
+          metrics;
+          trace;
         }
       in
       match Experiments.Runner.run opts with
@@ -451,7 +491,7 @@ let experiments_cmd =
     Term.(
       ret
         (const run $ list_arg $ only_arg $ json_arg $ smoke_arg $ quiet_arg
-       $ jobs_arg $ timeout_arg $ force_crash_arg))
+       $ jobs_arg $ timeout_arg $ force_crash_arg $ metrics_arg $ trace_arg))
 
 let () =
   let info =

@@ -3,7 +3,13 @@ module Q = Exact.Q
 
 let graph m = Model.graph (Profile.model m)
 
+(* One count per full sweep over the vertex (resp. edge×k) space — the
+   unit B7 times and B15 gates its observability overhead on. *)
+let c_vp_sweeps = Obs.counter "br.vp_sweeps"
+let c_tp_greedy_sweeps = Obs.counter "br.tp_greedy_sweeps"
+
 let vp_best_vertex ?naive m =
+  Obs.incr c_vp_sweeps;
   let g = graph m in
   let best = ref 0 and best_hit = ref (Profile.hit_prob ?naive m 0) in
   for v = 1 to Graph.n g - 1 do
@@ -55,6 +61,7 @@ let tp_upper_bound ?naive m =
   take 0 Q.zero loads
 
 let tp_greedy_value ?naive m =
+  Obs.incr c_tp_greedy_sweeps;
   let g = graph m in
   let k = Model.k (Profile.model m) in
   let chosen = Array.make (Graph.m g) false in

@@ -9,6 +9,16 @@ type t = {
   edge_load : Q.t array;
 }
 
+(* The patch-vs-rebuild economics this kernel exists for, as counters:
+   how many full builds, how many O(deg) patches, and how many cells
+   each copy-on-write patch actually duplicated.  Profile's naive_*
+   rescans count on the other side (kernel.naive_rescans), so a sweep's
+   metrics expose the ratio the incremental design is betting on. *)
+let c_builds = Obs.counter "kernel.builds"
+let c_vp_patches = Obs.counter "kernel.vp_patches"
+let c_tp_patches = Obs.counter "kernel.tp_patches"
+let c_cow_cells = Obs.counter "kernel.cow_cells"
+
 let vertex_incidence_sums g weights =
   if Array.length weights <> Graph.m g then
     invalid_arg "Payoff_kernel.vertex_incidence_sums: need one weight per edge";
@@ -50,6 +60,7 @@ let edge_load_table g load =
       Q.add load.(e.Graph.u) load.(e.Graph.v))
 
 let make model ~vp ~tp =
+  Obs.incr c_builds;
   let g = Model.graph model in
   let load = load_table g vp in
   { model; hit = hit_table g tp; load; edge_load = edge_load_table g load }
@@ -68,6 +79,8 @@ let load_table_copy k = Array.copy k.load
 let edge_load_table_copy k = Array.copy k.edge_load
 
 let replace_vp k ~old_d ~new_d =
+  Obs.incr c_vp_patches;
+  Obs.add c_cow_cells (Array.length k.load + Array.length k.edge_load);
   let g = Model.graph k.model in
   let load = Array.copy k.load in
   let edge_load = Array.copy k.edge_load in
@@ -81,4 +94,6 @@ let replace_vp k ~old_d ~new_d =
   Finite.iter new_d ~f:(fun v p -> shift v p);
   { k with load; edge_load }
 
-let replace_tp k ~tp = { k with hit = hit_table (Model.graph k.model) tp }
+let replace_tp k ~tp =
+  Obs.incr c_tp_patches;
+  { k with hit = hit_table (Model.graph k.model) tp }

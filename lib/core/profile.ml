@@ -97,11 +97,18 @@ let tuples_hitting m v =
 
 (* The naive recomputations below re-scan the relevant support on every
    query; they are the correctness oracle for the kernel tables (the
-   property tests assert exact Q-equality between the two paths). *)
+   property tests assert exact Q-equality between the two paths).  The
+   counter pairs with kernel.builds/kernel.*_patches: their ratio in a
+   sweep's metrics shows how much rescanning the kernel tables avoid. *)
 
-let naive_hit_prob m v = Q.sum (List.map snd (tuples_hitting m v))
+let c_naive_rescans = Obs.counter "kernel.naive_rescans"
+
+let naive_hit_prob m v =
+  Obs.incr c_naive_rescans;
+  Q.sum (List.map snd (tuples_hitting m v))
 
 let naive_expected_load m v =
+  Obs.incr c_naive_rescans;
   Array.fold_left (fun acc d -> Q.add acc (Finite.prob d v)) Q.zero m.vp
 
 let hit_prob ?(naive = false) m v =

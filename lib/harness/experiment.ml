@@ -61,6 +61,17 @@ type t = {
   run : ctx -> unit;
 }
 
+(* One span as reported in an artifact.  The call count is part of the
+   determinism contract; the accumulated duration only exists at Trace
+   level and is stripped with the rest of the timing data. *)
+type span_metric = { calls : int; total_s : float option }
+
+type metrics = {
+  m_counters : (string * int) list;
+  m_volatile : (string * int) list;
+  m_spans : (string * span_metric) list;
+}
+
 type result = {
   id : string;
   claim : string;
@@ -72,9 +83,25 @@ type result = {
   failed_labels : string list;
   measures : (string * value) list;
   timings : (string * timing) list;
+  metrics : metrics option;
   text : string;
   wall : float;
 }
+
+(* Durations only exist at Trace level: at Counters the span cells hold
+   secs = 0.0, and emitting those would put a meaningless "total_s": 0
+   in every artifact. *)
+let metrics_of_obs (d : Obs.metrics) =
+  let timed = Obs.level () = Obs.Trace in
+  {
+    m_counters = d.Obs.counters;
+    m_volatile = d.Obs.volatile;
+    m_spans =
+      List.map
+        (fun (name, (s : Obs.span_total)) ->
+          (name, { calls = s.calls; total_s = (if timed then Some s.secs else None) }))
+        d.Obs.spans;
+  }
 
 let run ?(scale = Full) (t : t) =
   let ctx =
@@ -88,6 +115,11 @@ let run ?(scale = Full) (t : t) =
       timings_rev = [];
     }
   in
+  (* Counters are global and monotone, so a delta against a snapshot
+     taken here attributes exactly this experiment's work — including
+     under nesting (an experiment that calls [run] itself sees its
+     child's work, which is part of its own computation). *)
+  let obs_before = if Obs.recording () then Some (Obs.snapshot ()) else None in
   let start = Timer.now () in
   (try t.run ctx
    with exn ->
@@ -95,6 +127,9 @@ let run ?(scale = Full) (t : t) =
      ignore (check ctx ~label:msg false);
      outf ctx "EXPERIMENT %s RAISED: %s\n" t.id (Printexc.to_string exn));
   let wall = Timer.now () -. start in
+  let metrics =
+    Option.map (fun snap -> metrics_of_obs (Obs.delta snap)) obs_before
+  in
   let verdict =
     if ctx.checks_failed > 0 then Degraded
     else if ctx.checks_total = 0 then Info
@@ -111,6 +146,7 @@ let run ?(scale = Full) (t : t) =
     failed_labels = List.rev ctx.failed_rev;
     measures = List.rev ctx.measures_rev;
     timings = List.rev ctx.timings_rev;
+    metrics;
     text = Buffer.contents ctx.buf;
     wall;
   }
@@ -140,6 +176,7 @@ let crashed (t : t) ~reason ~wall =
     failed_labels = [ reason ];
     measures = [];
     timings = [];
+    metrics = None;
     text = Printf.sprintf "EXPERIMENT %s CRASHED: %s\n" t.id reason;
     wall;
   }
@@ -174,28 +211,49 @@ let timing_to_json (t : timing) =
       ("runs", Json.Int t.runs);
     ]
 
-let result_to_json (r : result) =
+let metrics_to_json (m : metrics) =
+  let ints kvs = Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) kvs) in
+  let span (k, s) =
+    ( k,
+      Json.Obj
+        (("count", Json.Int s.calls)
+        ::
+        (match s.total_s with
+        | Some t -> [ ("total_s", Json.Float t) ]
+        | None -> [])) )
+  in
   Json.Obj
     [
-      ("id", Json.String r.id);
-      ("tag", Json.String (tag_to_string r.tag));
-      ("claim", Json.String r.claim);
-      ("expected", Json.String r.expected);
-      ("verdict", Json.String (verdict_to_string r.verdict));
-      ( "checks",
-        Json.Obj
-          [
-            ("total", Json.Int r.checks_total);
-            ("failed", Json.Int r.checks_failed);
-            ( "failed_labels",
-              Json.List (List.map (fun l -> Json.String l) r.failed_labels) );
-          ] );
-      ( "measures",
-        Json.Obj (List.map (fun (k, v) -> (k, value_to_json v)) r.measures) );
-      ( "timings",
-        Json.Obj (List.map (fun (k, t) -> (k, timing_to_json t)) r.timings) );
-      ("wall_s", Json.Float r.wall);
+      ("counters", ints m.m_counters);
+      ("volatile", ints m.m_volatile);
+      ("spans", Json.Obj (List.map span m.m_spans));
     ]
+
+let result_to_json (r : result) =
+  Json.Obj
+    ([
+       ("id", Json.String r.id);
+       ("tag", Json.String (tag_to_string r.tag));
+       ("claim", Json.String r.claim);
+       ("expected", Json.String r.expected);
+       ("verdict", Json.String (verdict_to_string r.verdict));
+       ( "checks",
+         Json.Obj
+           [
+             ("total", Json.Int r.checks_total);
+             ("failed", Json.Int r.checks_failed);
+             ( "failed_labels",
+               Json.List (List.map (fun l -> Json.String l) r.failed_labels) );
+           ] );
+       ( "measures",
+         Json.Obj (List.map (fun (k, v) -> (k, value_to_json v)) r.measures) );
+       ( "timings",
+         Json.Obj (List.map (fun (k, t) -> (k, timing_to_json t)) r.timings) );
+     ]
+    @ (match r.metrics with
+      | None -> []
+      | Some m -> [ ("metrics", metrics_to_json m) ])
+    @ [ ("wall_s", Json.Float r.wall) ])
 
 (* --- wire codec for worker processes ---
 
@@ -274,6 +332,39 @@ let result_of_wire json =
         | None -> wire_fail "%s: missing \"runs\"" what);
     }
   in
+  let counts_of_json ~what = function
+    | Json.Obj fields ->
+        List.map (fun (k, v) -> (k, as_int ~what:(what ^ "." ^ k) v)) fields
+    | _ -> wire_fail "%s must be an object" what
+  in
+  let metrics_of_json ~what j =
+    let section k =
+      match Json.member k j with
+      | Some v -> v
+      | None -> wire_fail "%s: missing %S" what k
+    in
+    let span (k, sj) =
+      let what = Printf.sprintf "%s.spans.%s" what k in
+      let calls =
+        match Json.member "count" sj with
+        | Some v -> as_int ~what:(what ^ ".count") v
+        | None -> wire_fail "%s: missing \"count\"" what
+      in
+      let total_s =
+        Option.map (fun v -> as_float ~what:(what ^ ".total_s") v)
+          (Json.member "total_s" sj)
+      in
+      (k, { calls; total_s })
+    in
+    {
+      m_counters = counts_of_json ~what:(what ^ ".counters") (section "counters");
+      m_volatile = counts_of_json ~what:(what ^ ".volatile") (section "volatile");
+      m_spans =
+        (match section "spans" with
+        | Json.Obj fields -> List.map span fields
+        | _ -> wire_fail "%s.spans must be an object" what);
+    }
+  in
   try
     let checks = field "checks" in
     let check_field k =
@@ -309,6 +400,10 @@ let result_of_wire json =
                 (fun (k, v) -> (k, timing_of_json ~what:("timing " ^ k) v))
                 fields
           | _ -> wire_fail "timings must be an object");
+        metrics =
+          (* Absent when the producing run recorded nothing; artifacts
+             without the field decode and re-render identically. *)
+          Option.map (metrics_of_json ~what:"metrics") (Json.member "metrics" json);
         text = as_string ~what:"text" (field "text");
         wall = as_float ~what:"wall_s" (field "wall_s");
       }

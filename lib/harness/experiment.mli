@@ -81,6 +81,28 @@ type t = {
   run : ctx -> unit;
 }
 
+(** One span's contribution to a result: how many times it was entered,
+    and — only when the run traced ([--trace]) — the accumulated
+    inclusive wall time.  The count obeys the {!Obs} determinism
+    contract; the duration is timing data and is stripped with the rest
+    (see {!Registry.strip_timings}). *)
+type span_metric = { calls : int; total_s : float option }
+
+(** The {!Obs} delta attributed to one experiment run, each section
+    sorted by name (see {!Obs.delta}). *)
+type metrics = {
+  m_counters : (string * int) list;  (** deterministic counters *)
+  m_volatile : (string * int) list;  (** volatile counters *)
+  m_spans : (string * span_metric) list;
+}
+
+(** Convert an {!Obs.delta} into result metrics.  Span durations are
+    kept only when the current level is {!Obs.Trace} — at [Counters]
+    the clock was never read, so the accumulated 0.0s would be noise,
+    not data.  {!run} uses this; the driver reuses it for its own
+    (orchestration-side) delta. *)
+val metrics_of_obs : Obs.metrics -> metrics
+
 type result = {
   id : string;
   claim : string;
@@ -92,6 +114,9 @@ type result = {
   failed_labels : string list;  (** labels of failed checks, run order *)
   measures : (string * value) list;  (** insertion order *)
   timings : (string * timing) list;  (** insertion order *)
+  metrics : metrics option;
+      (** [Some] iff observability was recording when the run started
+          ([--metrics]/[--trace]); [None] for {!crashed} results *)
   text : string;  (** the legacy text rendering *)
   wall : float;  (** whole-experiment wall clock, seconds *)
 }
@@ -112,7 +137,10 @@ val degrade : reason:string -> result -> result
 val crashed : t -> reason:string -> wall:float -> result
 
 (** One JSON object per result: id, claim, expected, tag, verdict,
-    check counts, measures, timings, wall time. *)
+    check counts, measures, timings, metrics (only when recorded) and
+    wall time.  The ["metrics"] object always carries its three
+    sections ([counters], [volatile], [spans]); span cells are
+    [{"count": n}] plus ["total_s"] at trace level. *)
 val result_to_json : result -> Json.t
 
 (** {!result_to_json} plus the ["text"] rendering — the envelope a

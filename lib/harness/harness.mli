@@ -1,0 +1,17 @@
+(** The [Harness] namespace root: experiment engine, JSON codec, forked
+    worker pool, statistics, tables and timers, plus the zero-dependency
+    observability core re-exported as [Harness.Obs].
+
+    [Obs] lives in its own library below [exact]/[matching]/[defender]
+    in the dependency graph so those libraries can instrument
+    themselves; this module folds it back into the one namespace that
+    the bench driver, the CLI and the tests already use. *)
+
+module Experiment = Experiment
+module Json = Json
+module Obs = Obs
+module Parallel = Parallel
+module Registry = Registry
+module Stats = Stats
+module Table = Table
+module Timer = Timer

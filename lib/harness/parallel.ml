@@ -13,6 +13,16 @@ type outcome =
   | Completed of Json.t
   | Crashed of { reason : string; wall : float }
 
+(* Pool counters are recorded in the parent process, so they never land
+   in an experiment's own delta — the driver surfaces them as the
+   orchestration-side metrics.  Pipe byte volume is volatile by nature:
+   worker payloads embed rendered timing floats whose widths vary run
+   to run. *)
+let c_spawns = Obs.counter "parallel.spawns"
+let c_timeout_kills = Obs.counter "parallel.timeout_kills"
+let c_crashed_workers = Obs.counter "parallel.crashed_workers"
+let c_pipe_bytes = Obs.volatile "parallel.pipe_bytes"
+
 let signal_name s =
   if s = Sys.sigkill then "SIGKILL"
   else if s = Sys.sigsegv then "SIGSEGV"
@@ -82,6 +92,7 @@ let run ~jobs ?timeout count f =
         Unix._exit code
     | pid ->
         Unix.close wr;
+        Obs.incr c_spawns;
         let started = Timer.now () in
         in_flight :=
           {
@@ -123,6 +134,7 @@ let run ~jobs ?timeout count f =
         | Unix.WSTOPPED s ->
             Crashed { reason = "worker stopped by " ^ signal_name s; wall }
     in
+    (match outcome with Crashed _ -> Obs.incr c_crashed_workers | Completed _ -> ());
     results.(slot.job) <- Some outcome
   in
   while !next < count || !in_flight <> [] do
@@ -153,7 +165,10 @@ let run ~jobs ?timeout count f =
             with Unix.Unix_error (Unix.EINTR, _, _) -> -1
           in
           if k = 0 then finished := slot :: !finished
-          else if k > 0 then Buffer.add_subbytes slot.buf chunk 0 k)
+          else if k > 0 then begin
+            Obs.add c_pipe_bytes k;
+            Buffer.add_subbytes slot.buf chunk 0 k
+          end)
       !in_flight;
     let now = Timer.now () in
     List.iter
@@ -161,6 +176,7 @@ let run ~jobs ?timeout count f =
         match slot.deadline with
         | Some d when (not slot.timed_out) && now >= d ->
             slot.timed_out <- true;
+            Obs.incr c_timeout_kills;
             (try Unix.kill slot.pid Sys.sigkill with Unix.Unix_error _ -> ())
         | _ -> ())
       !in_flight;

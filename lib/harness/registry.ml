@@ -98,6 +98,61 @@ let summary_table (results : Experiment.result list) =
       (s.checks_total - s.checks_failed)
       s.checks_total s.wall
 
+let metrics_table ?driver (results : Experiment.result list) =
+  let det : (string, int) Hashtbl.t = Hashtbl.create 32 in
+  let vol : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let spans : (string, int * float option) Hashtbl.t = Hashtbl.create 16 in
+  let add tbl (k, n) =
+    Hashtbl.replace tbl k (n + Option.value (Hashtbl.find_opt tbl k) ~default:0)
+  in
+  let add_span (k, (s : Experiment.span_metric)) =
+    let c0, t0 = Option.value (Hashtbl.find_opt spans k) ~default:(0, None) in
+    let t =
+      match (t0, s.total_s) with
+      | None, t | t, None -> t
+      | Some a, Some b -> Some (a +. b)
+    in
+    Hashtbl.replace spans k (c0 + s.calls, t)
+  in
+  let absorb (m : Experiment.metrics) =
+    List.iter (add det) m.m_counters;
+    List.iter (add vol) m.m_volatile;
+    List.iter add_span m.m_spans
+  in
+  List.iter (fun (r : Experiment.result) -> Option.iter absorb r.metrics) results;
+  Option.iter absorb driver;
+  let rows tbl = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []) in
+  let buf = Buffer.create 256 in
+  let counter_rows =
+    rows det @ List.map (fun (k, n) -> (k ^ " (volatile)", n)) (rows vol)
+  in
+  if counter_rows <> [] then begin
+    let t =
+      Table.create ~title:"observability counters (summed over sweep)"
+        ~columns:[ "counter"; "total" ]
+    in
+    List.iter (fun (k, n) -> Table.add_row t [ k; string_of_int n ]) counter_rows;
+    Buffer.add_string buf (Table.to_string t)
+  end;
+  let span_rows = rows spans in
+  if span_rows <> [] then begin
+    let t =
+      Table.create ~title:"observability spans (summed over sweep)"
+        ~columns:[ "span"; "calls"; "total_s" ]
+    in
+    List.iter
+      (fun (k, (c, secs)) ->
+        Table.add_row t
+          [
+            k;
+            string_of_int c;
+            (match secs with Some s -> Printf.sprintf "%.6f" s | None -> "-");
+          ])
+      span_rows;
+    Buffer.add_string buf (Table.to_string t)
+  end;
+  Buffer.contents buf
+
 let run ?(scale = Experiment.Full) ?(echo = fun _ -> ()) experiments =
   List.map
     (fun e ->
@@ -174,8 +229,14 @@ let report_json ~scale results =
    wall clocks, Timer cells, and float-valued measures (OLS estimates,
    speedups, fitted slopes — every float measure in the registry derives
    from the clock; exact results are Int/Bool/rational-string).  Drop
-   all three and two sweeps of the same registry at the same scale must
-   be byte-identical, however the work was scheduled. *)
+   all of it and two sweeps of the same registry at the same scale must
+   be byte-identical, however the work was scheduled.
+
+   Metrics objects are deliberately only half stripped: span "total_s"
+   durations and the "volatile" section go (clock- respectively
+   payload-dependent), while deterministic counters and span call
+   counts STAY — so the B14 sequential-vs-parallel byte-equality gate
+   also proves the counters' determinism contract across --jobs. *)
 let rec strip_timings json =
   match json with
   | Json.Obj fields ->
@@ -183,7 +244,7 @@ let rec strip_timings json =
         (List.filter_map
            (fun (k, v) ->
              match (k, v) with
-             | ("wall_s" | "timings"), _ -> None
+             | ("wall_s" | "timings" | "total_s" | "volatile"), _ -> None
              | "measures", Json.Obj ms ->
                  Some
                    ( k,

@@ -42,6 +42,14 @@ val summary_table : Experiment.result list -> string
 (** Aligned per-experiment verdict/check/time table plus a totals line,
     rendered through {!Table}. *)
 
+val metrics_table : ?driver:Experiment.metrics -> Experiment.result list -> string
+(** Render the sweep's observability metrics: one table summing every
+    deterministic and volatile counter over all results (volatile names
+    are marked), and one summing span call counts (with total seconds
+    when any run traced).  [driver] adds the orchestration-side delta —
+    parallel-pool counters the parent process records outside any
+    experiment.  Empty string when nothing was recorded. *)
+
 val run :
   ?scale:Experiment.scale ->
   ?echo:(string -> unit) ->
@@ -77,9 +85,12 @@ val report_json :
     {!Experiment.result_to_json}) and the roll-up summary. *)
 
 val strip_timings : Json.t -> Json.t
-(** Remove every timing-derived field from an artifact: [wall_s] and
-    [timings] everywhere, and float-valued (or null) entries inside
-    [measures] objects — all float measures in the registry derive from
-    the clock, while exact content is [Int]/[Bool]/rational-string.
-    Two sweeps of the same registry at the same scale strip to
-    byte-identical documents regardless of [--jobs]. *)
+(** Remove every nondeterministic field from an artifact: [wall_s],
+    [timings], span [total_s] durations and metrics [volatile] sections
+    everywhere (the listed keys are dropped wherever they appear), and
+    float-valued (or null) entries inside [measures] objects — all
+    float measures in the registry derive from the clock, while exact
+    content is [Int]/[Bool]/rational-string.  Deterministic counters
+    and span call counts are {e kept}: two sweeps of the same registry
+    at the same scale and recording level strip to byte-identical
+    documents regardless of [--jobs], counters included. *)

@@ -6,10 +6,17 @@ type result = {
   edges : Graph.edge_id list;
 }
 
+(* The two events that characterize a run's difficulty: contractions
+   say how non-bipartite the instance behaved, augmentations equal the
+   matching size.  Both are pure functions of the input graph. *)
+let c_contractions = Obs.counter "blossom.contractions"
+let c_augmentations = Obs.counter "blossom.augmentations"
+
 (* Classic O(n^3) formulation: repeatedly grow an alternating BFS forest
    from each free vertex, contracting blossoms on the fly via the [base]
    array, and augment when a free vertex is reached. *)
 let max_matching g =
+  Obs.span "blossom.max_matching" @@ fun () ->
   let n = Graph.n g in
   let mate = Array.make n (-1) in
   let parent = Array.make n (-1) in
@@ -60,6 +67,7 @@ let max_matching g =
         if base.(v) <> base.(w) && mate.(v) <> w then begin
           if w = root || (mate.(w) >= 0 && parent.(mate.(w)) >= 0) then begin
             (* An odd cycle: contract the blossom. *)
+            Obs.incr c_contractions;
             let cur_base = lowest_common_ancestor v w in
             Array.fill in_blossom 0 n false;
             mark_path v cur_base w;
@@ -106,6 +114,7 @@ let max_matching g =
     if mate.(v) < 0 then begin
       let last = find_augmenting_path v in
       if last >= 0 then begin
+        Obs.incr c_augmentations;
         augment last;
         incr size
       end

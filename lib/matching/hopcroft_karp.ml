@@ -20,7 +20,13 @@ let validate_sides g ~left ~right =
 
 let inf = max_int
 
+(* Phases bound the O(sqrt V) outer loop the algorithm is named for;
+   augmentations equal the final matching size. *)
+let c_phases = Obs.counter "hk.phases"
+let c_augmentations = Obs.counter "hk.augmentations"
+
 let max_matching g ~left ~right =
+  Obs.span "hk.max_matching" @@ fun () ->
   let side = validate_sides g ~left ~right in
   let lefts = Array.of_list left in
   let nl = Array.length lefts in
@@ -95,8 +101,13 @@ let max_matching g ~left ~right =
   in
   let size = ref 0 in
   while bfs () do
+    Obs.incr c_phases;
     Array.iteri
-      (fun i v -> if mate.(v) < 0 && dfs i then incr size)
+      (fun i v ->
+        if mate.(v) < 0 && dfs i then begin
+          Obs.incr c_augmentations;
+          incr size
+        end)
       lefts
   done;
   (* Recover matching edge ids. *)

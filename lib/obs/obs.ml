@@ -1,0 +1,165 @@
+(* The disabled path is the design constraint: instrumented hot loops
+   (kernel patches, big-rational fallbacks, blossom phases) run with
+   observability off in production sweeps, so [incr]/[add]/[span] must
+   cost one mutable-bool load and a conditional branch — no allocation,
+   no hashing, no clock read.  Handles are interned up front; only the
+   enabled path ever touches the registry tables. *)
+
+type level = Off | Counters | Trace
+
+(* Split the level into the two flags the hot paths test, so [incr]
+   reads a single ref. *)
+let rec_flag = ref false
+let time_flag = ref false
+
+let set_level = function
+  | Off ->
+      rec_flag := false;
+      time_flag := false
+  | Counters ->
+      rec_flag := true;
+      time_flag := false
+  | Trace ->
+      rec_flag := true;
+      time_flag := true
+
+let level () =
+  if not !rec_flag then Off else if !time_flag then Trace else Counters
+
+let recording () = !rec_flag
+
+let unobserved f =
+  let saved = level () in
+  set_level Off;
+  Fun.protect ~finally:(fun () -> set_level saved) f
+
+(* --- counters --- *)
+
+type kind = Deterministic | Volatile
+type counter = { c_name : string; c_kind : kind; mutable n : int }
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+
+let intern_counter name kind =
+  match Hashtbl.find_opt counters name with
+  | Some c when c.c_kind = kind -> c
+  | Some _ ->
+      invalid_arg
+        (Printf.sprintf
+           "Obs: counter %S already interned with the other volatility" name)
+  | None ->
+      let c = { c_name = name; c_kind = kind; n = 0 } in
+      Hashtbl.add counters name c;
+      c
+
+let counter name = intern_counter name Deterministic
+let volatile name = intern_counter name Volatile
+let incr c = if !rec_flag then c.n <- c.n + 1
+
+let add c k =
+  if !rec_flag then begin
+    if k < 0 then
+      invalid_arg
+        (Printf.sprintf "Obs.add: counter %s is monotone (add %d)" c.c_name k);
+    c.n <- c.n + k
+  end
+
+(* --- spans --- *)
+
+type span_cell = { mutable calls : int; mutable secs : float }
+
+let spans : (string, span_cell) Hashtbl.t = Hashtbl.create 32
+
+let intern_span name =
+  match Hashtbl.find_opt spans name with
+  | Some s -> s
+  | None ->
+      let s = { calls = 0; secs = 0.0 } in
+      Hashtbl.add spans name s;
+      s
+
+let now () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
+
+let span name f =
+  if not !rec_flag then f ()
+  else begin
+    let s = intern_span name in
+    s.calls <- s.calls + 1;
+    if not !time_flag then f ()
+    else
+      let start = now () in
+      Fun.protect
+        ~finally:(fun () -> s.secs <- s.secs +. Float.max 0.0 (now () -. start))
+        f
+  end
+
+(* --- snapshots and deltas --- *)
+
+type span_total = { calls : int; secs : float }
+
+type snapshot = {
+  snap_counters : (string, int) Hashtbl.t;
+  snap_spans : (string, int * float) Hashtbl.t;
+}
+
+let snapshot () =
+  let snap_counters = Hashtbl.create (Hashtbl.length counters) in
+  Hashtbl.iter (fun name c -> Hashtbl.replace snap_counters name c.n) counters;
+  let snap_spans = Hashtbl.create (Hashtbl.length spans) in
+  Hashtbl.iter
+    (fun name (s : span_cell) -> Hashtbl.replace snap_spans name (s.calls, s.secs))
+    spans;
+  { snap_counters; snap_spans }
+
+type metrics = {
+  counters : (string * int) list;
+  volatile : (string * int) list;
+  spans : (string * span_total) list;
+}
+
+let by_name (a, _) (b, _) = String.compare a b
+
+(* Counters are monotone and never un-interned, so every delta is
+   non-negative and the snapshot's name set is a subset of the current
+   one.  Zero deltas are dropped: an interned-but-untouched counter must
+   not appear, or metrics would depend on which modules happen to be
+   linked rather than on the work performed. *)
+let delta snap =
+  let det = ref [] and vol = ref [] in
+  Hashtbl.iter
+    (fun name c ->
+      let before =
+        Option.value (Hashtbl.find_opt snap.snap_counters name) ~default:0
+      in
+      let d = c.n - before in
+      if d > 0 then
+        match c.c_kind with
+        | Deterministic -> det := (name, d) :: !det
+        | Volatile -> vol := (name, d) :: !vol)
+    counters;
+  let sp = ref [] in
+  Hashtbl.iter
+    (fun name (s : span_cell) ->
+      let bc, bs =
+        Option.value (Hashtbl.find_opt snap.snap_spans name) ~default:(0, 0.0)
+      in
+      if s.calls - bc > 0 then
+        sp :=
+          (name, { calls = s.calls - bc; secs = Float.max 0.0 (s.secs -. bs) })
+          :: !sp)
+    spans;
+  {
+    counters = List.sort by_name !det;
+    volatile = List.sort by_name !vol;
+    spans = List.sort by_name !sp;
+  }
+
+let is_empty m = m.counters = [] && m.volatile = [] && m.spans = []
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.n <- 0) counters;
+  Hashtbl.iter
+    (fun _ (s : span_cell) ->
+      s.calls <- 0;
+      s.secs <- 0.0)
+    spans

@@ -213,14 +213,24 @@ let divmod_knuth a b =
   (* D8: denormalize the remainder. *)
   (trim q, shift_right_bits (trim (Array.sub u 0 n)) shift)
 
+(* The two entry points the rational layer leans on, counted so a
+   sweep's metrics show how much long division the big path cost.  gcd
+   counts once per Euclid run, not per internal division. *)
+let c_divmods = Obs.counter "bignat.divmods"
+let c_gcds = Obs.counter "bignat.gcds"
+
 let divmod a b =
+  Obs.incr c_divmods;
   match Array.length b with
   | 0 -> raise Division_by_zero
   | _ when compare a b < 0 -> (zero, trim (Array.copy a))
   | 1 -> divmod_small a b.(0)
   | _ -> divmod_knuth a b
 
-let rec gcd a b = if is_zero b then a else gcd b (snd (divmod a b))
+let gcd a b =
+  Obs.incr c_gcds;
+  let rec go a b = if is_zero b then a else go b (snd (divmod a b)) in
+  go a b
 
 let shift_right a k =
   if k < 0 then invalid_arg "Bignat.shift_right: negative shift"

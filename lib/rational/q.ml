@@ -17,6 +17,15 @@ type t =
 exception Overflow
 exception Division_by_zero
 
+(* Observability sits only on the cold paths: a native S×S operation
+   that falls through to big arithmetic (a promotion), the big-path
+   operations themselves, and successful demotions back to S.  The S×S
+   success path — the one B13 gates at ≤ 1.10× of the seed — records
+   nothing and gains no code. *)
+let c_promotions = Obs.counter "q.promotions"
+let c_big_ops = Obs.counter "q.big_ops"
+let c_demotions = Obs.counter "q.demotions"
+
 (* --- overflow-checked native primitives (the fast path) --- *)
 
 (* [min_int] is excluded outright from the S representation: its negation
@@ -44,7 +53,9 @@ let minus_one = S { num = -1; den = 1 }
    fraction demotes exactly when both components pass [to_int_opt]. *)
 let demote bnum bden =
   match (Bigint.to_int_opt bnum, Bignat.to_int_opt bden) with
-  | Some n, Some d when n <> min_int -> S { num = n; den = d }
+  | Some n, Some d when n <> min_int ->
+      Obs.incr c_demotions;
+      S { num = n; den = d }
   | _ -> B { bnum; bden }
 
 let nat_div a b = fst (Bignat.divmod a b)
@@ -68,6 +79,7 @@ let to_big = function
 let of_big ~num ~den = big_norm num den
 
 let big_add a b =
+  Obs.incr c_big_ops;
   let na, da = to_big a and nb, db = to_big b in
   let da' = Bigint.make ~sign:1 da and db' = Bigint.make ~sign:1 db in
   big_norm
@@ -75,6 +87,7 @@ let big_add a b =
     (Bigint.mul da' db')
 
 let big_mul a b =
+  Obs.incr c_big_ops;
   let na, da = to_big a and nb, db = to_big b in
   big_norm (Bigint.mul na nb)
     (Bigint.mul (Bigint.make ~sign:1 da) (Bigint.make ~sign:1 db))
@@ -129,7 +142,10 @@ let add a b =
         && d / db = a'.den
         && d <> min_int
       then norm n d
-      else big_add a b
+      else begin
+        Obs.incr c_promotions;
+        big_add a b
+      end
   | _ -> big_add a b
 
 let sub a b = add a (neg b)
@@ -147,7 +163,10 @@ let mul a b =
         && d / db = da
         && d <> min_int
       then norm n d
-      else big_mul a b
+      else begin
+        Obs.incr c_promotions;
+        big_mul a b
+      end
   | _ -> big_mul a b
 
 let inv = function
@@ -157,12 +176,14 @@ let inv = function
       else S { num = -den; den = -num }
   | B { bnum; bden } ->
       if Bigint.is_zero bnum then raise Division_by_zero
-      else
+      else begin
+        Obs.incr c_big_ops;
         (* gcd (|bnum|, bden) = 1 already, so the swap needs no
            renormalization; it may demote (e.g. small num over big den). *)
         demote
           (Bigint.make ~sign:(Bigint.sign bnum) bden)
           (Bigint.abs_nat bnum)
+      end
 
 let div a b = mul a (inv b)
 let mul_int q n = mul q (of_int n)
@@ -175,6 +196,7 @@ let sign = function
 let abs a = if sign a < 0 then neg a else a
 
 let big_compare a b =
+  Obs.incr c_big_ops;
   let na, da = to_big a and nb, db = to_big b in
   Bigint.compare
     (Bigint.mul na (Bigint.make ~sign:1 db))
@@ -193,7 +215,10 @@ let compare a b =
         let y = b'.num * da in
         if x / db = a'.num && x <> min_int && y / da = b'.num && y <> min_int
         then Stdlib.compare x y
-        else big_compare a b
+        else begin
+          Obs.incr c_promotions;
+          big_compare a b
+        end
   | _ -> big_compare a b
 
 (* Canonical representations: cross-constructor values are never equal. *)

@@ -1,0 +1,45 @@
+(* Documentation lint, attached to both @doc and @runtest: every public
+   [.mli] under lib/ must open with a [(** ... *)] synopsis, and every
+   sublibrary must parse as a library (a dune file with a (name ...)
+   field).  Exit 0 when clean; exit 1 listing each offender otherwise,
+   so an undocumented interface cannot land.
+
+     doc_lint.exe LIB_DIR        # normally: doc_lint.exe lib *)
+
+let () =
+  let root =
+    match Sys.argv with
+    | [| _; dir |] -> dir
+    | _ ->
+        prerr_endline "usage: doc_lint.exe LIB_DIR";
+        exit 2
+  in
+  let sublibs = Doc_scan.scan root in
+  if sublibs = [] then begin
+    Printf.eprintf "doc_lint: no sublibraries found under %s\n" root;
+    exit 1
+  end;
+  let undocumented =
+    List.concat_map
+      (fun (s : Doc_scan.sublib) ->
+        List.filter (fun (m : Doc_scan.mli) -> m.synopsis = None) s.mlis)
+      sublibs
+  in
+  let total =
+    List.fold_left (fun n (s : Doc_scan.sublib) -> n + List.length s.mlis) 0 sublibs
+  in
+  match undocumented with
+  | [] ->
+      Printf.printf
+        "doc_lint: ok (%d .mli files across %d sublibraries, all carry a \
+         leading (** ... *) synopsis)\n"
+        total (List.length sublibs)
+  | offenders ->
+      List.iter
+        (fun (m : Doc_scan.mli) ->
+          Printf.eprintf
+            "doc_lint: %s: missing leading (** ... *) synopsis\n" m.path)
+        offenders;
+      Printf.eprintf "doc_lint: %d of %d .mli file(s) undocumented\n"
+        (List.length offenders) total;
+      exit 1

@@ -1,0 +1,122 @@
+(* Shared scanner for the in-tree documentation pipeline (doc_lint.exe
+   and doc_gen.exe).  odoc is deliberately not a dependency: every
+   library in this project is private, so dune generates no odoc rules,
+   and the container does not ship the tool.  Instead the contract is
+   enforced directly on the sources: each public [.mli] under lib/ must
+   open with an odoc-style [(** ... *)] synopsis, which this module
+   locates and extracts. *)
+
+type mli = {
+  path : string;  (** repo-relative, e.g. "lib/core/model.mli" *)
+  modname : string;  (** OCaml module name, e.g. "Model" *)
+  synopsis : string option;
+      (** first sentence of the leading [(** ... *)] comment, whitespace
+          collapsed; [None] when the file does not open with one *)
+}
+
+type sublib = {
+  dir : string;  (** e.g. "lib/core" *)
+  libname : string;  (** the [(name ...)] field of the sublibrary's dune file *)
+  mlis : mli list;  (** sorted by filename *)
+}
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+(* The body of the leading (** ... *) comment, or None if the first
+   non-whitespace token is anything else.  Comment nesting is respected
+   — OCaml comments nest, and several synopses quote [(* ... *)]. *)
+let leading_doc_comment text =
+  let n = String.length text in
+  let i = ref 0 in
+  while !i < n && is_space text.[!i] do incr i done;
+  if !i + 3 > n || String.sub text !i 3 <> "(**" then None
+  else begin
+    let start = !i + 3 in
+    let depth = ref 1 and j = ref start and close = ref (-1) in
+    while !close < 0 && !j + 1 < n do
+      (match (text.[!j], text.[!j + 1]) with
+      | '(', '*' ->
+          incr depth;
+          incr j
+      | '*', ')' ->
+          decr depth;
+          if !depth = 0 then close := !j else incr j
+      | _ -> ());
+      incr j
+    done;
+    if !close < 0 then None else Some (String.sub text start (!close - start))
+  end
+
+let collapse_ws s =
+  String.split_on_char '\n' s
+  |> List.concat_map (String.split_on_char ' ')
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "" && w <> "\r")
+  |> String.concat " "
+
+(* First sentence: cut after the first '.' that ends a word.  Inline
+   code like [Q.t] never ends a word with '.', so it survives. *)
+let first_sentence s =
+  let s = collapse_ws s in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then s
+    else if s.[i] = '.' && (i + 1 = n || s.[i + 1] = ' ') then
+      String.sub s 0 (i + 1)
+    else go (i + 1)
+  in
+  go 0
+
+let scan_mli path =
+  let base = Filename.remove_extension (Filename.basename path) in
+  {
+    path;
+    modname = String.capitalize_ascii base;
+    synopsis = Option.map first_sentence (leading_doc_comment (read_file path));
+  }
+
+(* The library name is the first (name ...) field of the dune file —
+   every lib/ sublibrary declares exactly one library stanza. *)
+let library_name dune_path =
+  let text = read_file dune_path in
+  let n = String.length text in
+  let key = "(name" in
+  let rec find i =
+    if i + String.length key > n then None
+    else if String.sub text i (String.length key) = key then begin
+      let j = ref (i + String.length key) in
+      while !j < n && is_space text.[!j] do incr j done;
+      let k = ref !j in
+      while !k < n && (not (is_space text.[!k])) && text.[!k] <> ')' do
+        incr k
+      done;
+      if !k > !j then Some (String.sub text !j (!k - !j)) else None
+    end
+    else find (i + 1)
+  in
+  find 0
+
+let scan_sublib dir =
+  match library_name (Filename.concat dir "dune") with
+  | None -> None
+  | Some libname ->
+      let mlis =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".mli")
+        |> List.sort compare
+        |> List.map (fun f -> scan_mli (Filename.concat dir f))
+      in
+      Some { dir; libname; mlis }
+
+(* All sublibraries under [root] (normally "lib"), sorted by path. *)
+let scan root =
+  Sys.readdir root |> Array.to_list |> List.sort compare
+  |> List.filter_map (fun d ->
+         let dir = Filename.concat root d in
+         if Sys.is_directory dir then scan_sublib dir else None)
