@@ -11,7 +11,9 @@
    The gate exits 0 when the artifact is well-formed, non-empty, and
    contains no degraded or crashed verdict and no failed check; exit 1
    with a diagnostic otherwise.  Per-experiment "metrics" objects (only
-   present on --metrics/--trace sweeps) are shape-checked too.  --strip
+   present on --metrics/--trace sweeps) are shape-checked too, including
+   that known scheduling-dependent counters (pool steals, pipe bytes)
+   never appear in the deterministic "counters" section.  --strip
    prints the artifact with every nondeterministic field removed
    (Registry.strip_timings: wall clocks, Timer cells, float measures,
    span durations and volatile counters — deterministic counters stay),
@@ -25,6 +27,14 @@
 module J = Harness.Json
 
 let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("check_artifact: " ^ s); exit 1) fmt
+
+(* Counters whose value depends on scheduling, buffering or completion
+   order rather than on the computation alone.  They are registered
+   [Obs.volatile] at their definition sites (parallel.ml, pool.ml); an
+   artifact carrying one in the deterministic "counters" section was
+   built against a miscategorized registration and would flakily break
+   the stripped normal form that --same-stripped gates. *)
+let scheduling_dependent = [ "parallel.pipe_bytes"; "pool.steals" ]
 
 let member_exn key json ~ctx =
   match J.member key json with
@@ -106,6 +116,14 @@ let gate file =
               | J.Int _ -> fail "%s: metrics counter %s is not positive" ctx name
               | _ -> fail "%s: metrics counter %s is not an integer" ctx name)
             (section "counters" @ section "volatile");
+          List.iter
+            (fun (name, _) ->
+              if List.mem name scheduling_dependent then
+                fail
+                  "%s: scheduling-dependent counter %s in the deterministic \
+                   \"counters\" section (must be registered Obs.volatile)"
+                  ctx name)
+            (section "counters");
           List.iter
             (fun (name, v) ->
               match J.member "count" v with

@@ -1,6 +1,6 @@
 (* Benchmark harness entry point: a generic driver over the experiment
    registry (tables T1-T12 + ablations A1-A2, figures F1-F6, Bechamel
-   microbenchmarks B0-B12).
+   microbenchmarks B0-B16).
 
      dune exec bench/main.exe                       # everything, full scale
      dune exec bench/main.exe -- tables             # legacy group selectors
@@ -13,6 +13,7 @@
      dune exec bench/main.exe -- --only T4,F2       # just those experiments
      dune exec bench/main.exe -- --json BENCH_2.json  # write the JSON artifact
      dune exec bench/main.exe -- --jobs 4           # forked worker pool
+     dune exec bench/main.exe -- --jobs 4 --pool    # persistent worker pool
      dune exec bench/main.exe -- --timeout 60       # per-experiment budget
      dune exec bench/main.exe -- --metrics          # record Obs counters
      dune exec bench/main.exe -- --trace            # + span wall time
@@ -21,7 +22,9 @@
    (results reassemble in registration order; a worker that dies or
    exceeds --timeout crashes only its own experiment).  The default
    --jobs 1 is the in-process sequential runner, byte-identical to the
-   historical output.
+   historical output.  --pool swaps fork-per-experiment for a persistent
+   pre-forked pool (Harness.Pool): workers live across experiments, a
+   crashed worker is respawned and its experiment retried once.
 
    Exits 0 when every selected experiment passes, 1 if any verdict is
    degraded or crashed (--force-degrade / --force-crash ID[,ID..] force
@@ -32,7 +35,8 @@ module Runner = Experiments.Runner
 let usage () =
   prerr_endline
     "usage: main.exe [tables|figures|micro|smoke|all] [--smoke] [--list]\n\
-    \       [--only ID[,ID..]] [--json FILE] [--jobs N] [--timeout SECS]\n\
+    \       [--only ID[,ID..]] [--json FILE] [--jobs N] [--pool]\n\
+    \       [--timeout SECS]\n\
     \       [--metrics] [--trace]\n\
     \       [--force-degrade ID[,ID..]] [--force-crash ID[,ID..]] [--quiet]"
 
@@ -57,6 +61,9 @@ let () =
         parse rest
     | "--trace" :: rest ->
         opts := { !opts with Runner.trace = true };
+        parse rest
+    | "--pool" :: rest ->
+        opts := { !opts with Runner.pool = true };
         parse rest
     | "--only" :: ids :: rest ->
         opts := { !opts with Runner.only = split_ids ids };

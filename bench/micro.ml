@@ -1,4 +1,4 @@
-(* B0-B15: microbenchmarks and kernel-correctness checks.
+(* B0-B16: microbenchmarks and kernel-correctness checks.
 
    B0 ports the former standalone smoke pass: exact kernel = naive
    equality assertions (payoff tables, incremental deviation chains,
@@ -29,7 +29,12 @@
    B15 gates the observability layer's disabled cost: the instrumented
    B7 best-response sweep with recording off against an uninstrumented
    in-process copy (<= 1.05x at full scale), counters-on cost reported
-   informationally. *)
+   informationally.
+
+   B16 gates the persistent worker pool: dispatching many near-empty
+   jobs through Harness.Pool must beat fork-per-job at full scale, and a
+   pooled sweep of the B14 subset must reassemble the timing-stripped
+   sequential artifact byte for byte. *)
 
 open Bechamel
 open Toolkit
@@ -799,6 +804,103 @@ let b15 ctx =
       (E.check ctx ~label:"B15: observability off costs at most 5%"
          (off_overhead <= 1.05))
 
+(* --- B16: persistent pool dispatch overhead and faithfulness --- *)
+
+(* Two halves.  (1) Dispatch overhead: the same batch of many tiny jobs
+   through fork-per-job (Harness.Parallel) and through the persistent
+   pool (Harness.Pool), 4 workers each.  The job body is near-free, so
+   the wall clock is almost pure orchestration: fork+exit per job on one
+   side, one frame round-trip on a warm worker on the other.  (2)
+   Faithfulness: the B14 gate re-run through the pool dispatch path —
+   a pooled registry sweep must reassemble the exact sequential
+   artifact, deterministic counters included, even though the pool adds
+   retry/respawn/steal machinery between the two. *)
+let b16 ctx =
+  let count = if E.is_smoke ctx then 24 else 96 in
+  let rounds = if E.is_smoke ctx then 1 else 3 in
+  let job i = Harness.Json.Int ((i * i) land 0xffff) in
+  let all_completed outcomes =
+    Array.for_all
+      (function Harness.Parallel.Completed _ -> true | _ -> false)
+      outcomes
+  in
+  let t_fork = ref infinity and t_pool = ref infinity in
+  let ok = ref true in
+  for _ = 1 to rounds do
+    let fork_out, fork_wall =
+      Harness.Timer.time (fun () -> Harness.Parallel.run ~jobs:4 count job)
+    in
+    let pool_out, pool_wall =
+      Harness.Timer.time (fun () -> Harness.Pool.run ~jobs:4 count job)
+    in
+    ok := !ok && all_completed fork_out && all_completed pool_out
+          && fork_out = pool_out;
+    t_fork := Float.min !t_fork fork_wall;
+    t_pool := Float.min !t_pool pool_wall
+  done;
+  let t_fork = !t_fork and t_pool = !t_pool in
+  ignore
+    (E.check ctx
+       ~label:
+         (Printf.sprintf
+            "B16: all %d jobs completed with equal payloads on both engines"
+            count)
+       !ok);
+  let per_job t = t /. float_of_int count *. 1e9 in
+  E.measure ctx "fork_dispatch_ns_per_job" (E.Float (per_job t_fork));
+  E.measure ctx "pool_dispatch_ns_per_job" (E.Float (per_job t_pool));
+  let ratio = if t_fork > 0.0 then t_pool /. t_fork else Float.nan in
+  E.measure ctx "pool_vs_fork_dispatch" (E.Float ratio);
+  E.outf ctx
+    "B16 dispatch of %d near-empty jobs on 4 workers: fork-per-job %s/job, \
+     pool %s/job (pool at %.2fx of fork)\n"
+    count
+    (human_time (per_job t_fork))
+    (human_time (per_job t_pool))
+    ratio;
+  (* The point of the pool is amortizing the fork: gate it.  Smoke stays
+     informational (one round on loaded CI is noise), full scale demands
+     the pool beat fork-per-job outright on min-of-3. *)
+  if not (E.is_smoke ctx) then
+    ignore
+      (E.check ctx
+         ~label:"B16: pool dispatch strictly cheaper than fork-per-job"
+         (Float.is_finite ratio && ratio < 1.0));
+  (* Faithfulness through the registry path (B14's gate, pool engine). *)
+  let module R = Harness.Registry in
+  match R.select ~only:b14_ids with
+  | Error e -> ignore (E.check ctx ~label:("B16: selection failed: " ^ e) false)
+  | Ok exps ->
+      let module Obs = Harness.Obs in
+      let ambient = Obs.level () in
+      Fun.protect ~finally:(fun () -> Obs.set_level ambient) @@ fun () ->
+      Obs.set_level Obs.Counters;
+      let seq_results = R.run ~scale:E.Smoke exps in
+      let pool_results, pool_wall =
+        Harness.Timer.time (fun () ->
+            R.run_parallel ~scale:E.Smoke ~jobs:4 ~dispatch:`Pool exps)
+      in
+      let stripped results =
+        Harness.Json.to_string ~pretty:true
+          (R.strip_timings (R.report_json ~scale:E.Smoke results))
+      in
+      ignore
+        (E.check ctx ~label:"B16: no crashed verdict in the pooled sweep"
+           (List.for_all
+              (fun (r : E.result) -> r.E.verdict <> E.Crashed)
+              pool_results));
+      ignore
+        (E.check ctx
+           ~label:
+             "B16: pooled artifact byte-identical to sequential (timings \
+              stripped)"
+           (stripped pool_results = stripped seq_results));
+      let point w = { E.median = w; min = w; max = w; runs = 1 } in
+      E.record_timing ctx "pool_sweep_jobs4" (point pool_wall);
+      E.outf ctx
+        "B16 %d-experiment smoke sweep on the 4-worker pool: %.3fs\n\n"
+        (List.length exps) pool_wall
+
 let register () =
   let r ~id ~claim ~expected run =
     Harness.Registry.register
@@ -857,4 +959,14 @@ let register () =
     ~expected:
       "off/baseline <= 1.05 at full scale (min-of-3 interleaved, fixed \
        iterations); counters-on cost reported informationally"
-    b15
+    b15;
+  r ~id:"B16"
+    ~claim:
+      "the persistent worker pool (Harness.Pool) amortizes the fork: \
+       dispatching many near-empty jobs costs less than fork-per-job, and a \
+       pooled sweep reassembles the exact sequential artifact"
+    ~expected:
+      "pool/fork dispatch ratio < 1.0 at full scale (min-of-3); \
+       timing-stripped pooled artifact byte-identical to sequential, no \
+       crashed verdicts"
+    b16

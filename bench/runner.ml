@@ -1,7 +1,8 @@
 (* Driver logic shared by bench/main.exe and the CLI `experiments`
    subcommand: registration, selection (legacy group selectors and
-   --only id lists), execution at either scale — sequentially or across
-   --jobs forked workers with an optional per-experiment --timeout —
+   --only id lists), execution at either scale — sequentially, across
+   --jobs forked workers, or on a persistent pre-forked worker pool
+   (--pool), with an optional per-experiment --timeout —
    optional observability recording (--metrics counters, --trace span
    durations: a metrics object per experiment in the artifact and a
    summed table after the summary), JSON artifact emission (with a
@@ -59,6 +60,9 @@ type opts = {
   force_crash : string list;
       (** ids whose worker is killed mid-run — the fault-injection hook
           for the crash-isolation path (implies forked workers) *)
+  pool : bool;
+      (** dispatch through the persistent pre-forked pool
+          ({!Harness.Pool}) instead of fork-per-experiment *)
   metrics : bool;
       (** record Obs counters: a metrics object per experiment in the
           artifact, plus a summed table after the summary *)
@@ -76,6 +80,7 @@ let default_opts =
     jobs = 1;
     timeout = None;
     force_crash = [];
+    pool = false;
     metrics = false;
     trace = false;
   }
@@ -143,15 +148,17 @@ let run opts =
            the in-process sequential run the same delta would merely
            double-count every experiment, so it is not collected. *)
         let forked =
-          opts.jobs > 1 || opts.timeout <> None || opts.force_crash <> []
+          opts.pool || opts.jobs > 1 || opts.timeout <> None
+          || opts.force_crash <> []
         in
         let driver_snap =
           if forked && Obs.recording () then Some (Obs.snapshot ()) else None
         in
         let echo = if opts.echo then print_string else fun _ -> () in
+        let dispatch = if opts.pool then `Pool else `Fork in
         let results =
           R.run_parallel ~scale:opts.scale ~jobs:opts.jobs ?timeout:opts.timeout
-            ~force_crash:opts.force_crash ~echo experiments
+            ~force_crash:opts.force_crash ~dispatch ~echo experiments
         in
         let driver =
           Option.map (fun snap -> E.metrics_of_obs (Obs.delta snap)) driver_snap

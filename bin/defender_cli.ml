@@ -456,11 +456,22 @@ let experiments_cmd =
             "Kill the worker running each listed experiment (fault-injection \
              test hook for the crash-isolation path).")
   in
+  let pool_arg =
+    Arg.(
+      value & flag
+      & info [ "pool" ]
+          ~doc:
+            "Dispatch through a persistent pre-forked worker pool instead of \
+             forking one worker per experiment: workers live across \
+             experiments, a crashed worker is respawned and its experiment \
+             retried once before being reported crashed.")
+  in
   let split_ids = function
     | None -> []
     | Some ids -> String.split_on_char ',' ids |> List.filter (fun x -> x <> "")
   in
-  let run list only json smoke quiet jobs timeout force_crash metrics trace =
+  let run list only json smoke quiet jobs pool timeout force_crash metrics trace
+      =
     if list then `Ok (print_string (Experiments.Runner.list_text ()))
     else
       let opts =
@@ -472,6 +483,7 @@ let experiments_cmd =
           json_out = json;
           echo = not quiet;
           jobs;
+          pool;
           timeout;
           force_crash = split_ids force_crash;
           metrics;
@@ -491,7 +503,8 @@ let experiments_cmd =
     Term.(
       ret
         (const run $ list_arg $ only_arg $ json_arg $ smoke_arg $ quiet_arg
-       $ jobs_arg $ timeout_arg $ force_crash_arg $ metrics_arg $ trace_arg))
+       $ jobs_arg $ pool_arg $ timeout_arg $ force_crash_arg $ metrics_arg
+       $ trace_arg))
 
 let () =
   let info =

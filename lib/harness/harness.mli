@@ -11,7 +11,9 @@ module Experiment = Experiment
 module Json = Json
 module Obs = Obs
 module Parallel = Parallel
+module Pool = Pool
 module Registry = Registry
 module Stats = Stats
 module Table = Table
 module Timer = Timer
+module Wire = Wire

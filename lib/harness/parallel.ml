@@ -7,7 +7,8 @@
    in); results come back over a pipe as a single JSON document, the
    harness's own wire format rather than Marshal, so a corrupted or
    truncated payload is a detectable Crashed outcome instead of a
-   segfault in the reader. *)
+   segfault in the reader.  The pipe/reap plumbing itself lives in
+   {!Wire}, shared with the persistent {!Pool}. *)
 
 type outcome =
   | Completed of Json.t
@@ -23,17 +24,6 @@ let c_timeout_kills = Obs.counter "parallel.timeout_kills"
 let c_crashed_workers = Obs.counter "parallel.crashed_workers"
 let c_pipe_bytes = Obs.volatile "parallel.pipe_bytes"
 
-let signal_name s =
-  if s = Sys.sigkill then "SIGKILL"
-  else if s = Sys.sigsegv then "SIGSEGV"
-  else if s = Sys.sigterm then "SIGTERM"
-  else if s = Sys.sigabrt then "SIGABRT"
-  else if s = Sys.sigint then "SIGINT"
-  else if s = Sys.sigill then "SIGILL"
-  else if s = Sys.sigfpe then "SIGFPE"
-  else if s = Sys.sigbus then "SIGBUS"
-  else Printf.sprintf "signal %d" s
-
 type slot = {
   job : int;
   pid : int;
@@ -44,19 +34,34 @@ type slot = {
   mutable timed_out : bool;
 }
 
-let rec waitpid_retry pid =
-  try snd (Unix.waitpid [] pid)
-  with Unix.Unix_error (Unix.EINTR, _, _) -> waitpid_retry pid
-
-let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
-
-let write_all fd s =
-  let bytes = Bytes.unsafe_of_string s in
-  let len = Bytes.length bytes in
-  let written = ref 0 in
-  while !written < len do
-    written := !written + Unix.write fd bytes !written (len - !written)
-  done
+(* Outcome of a reaped worker, as a pure function so the decision is
+   unit-testable.  Order matters: a worker that exited 0 with a payload
+   that parses COMPLETED, even if the deadline flag was raised — the
+   worker can finish and exit in the same select round the deadline
+   expires in, in which case the SIGKILL answers ESRCH (it was sent to a
+   process that already exited) and calling the job a timeout would
+   misreport a good result as a crash.  Only then does the timeout flag
+   claim whatever is left: a killed worker (WSIGNALED SIGKILL) or a
+   truncated payload from one that died mid-write. *)
+let classify ~timed_out ~timeout ~status ~payload ~wall =
+  match (status, Json.of_string payload) with
+  | Unix.WEXITED 0, Ok json -> Completed json
+  | _ when timed_out ->
+      Crashed
+        {
+          reason =
+            Printf.sprintf "timed out after %g s (worker killed)"
+              (Option.value timeout ~default:Float.nan);
+          wall;
+        }
+  | Unix.WEXITED 0, Error e ->
+      Crashed { reason = "worker result does not parse: " ^ e; wall }
+  | Unix.WEXITED c, _ ->
+      Crashed { reason = Printf.sprintf "worker exited with code %d" c; wall }
+  | Unix.WSIGNALED s, _ ->
+      Crashed { reason = "worker killed by " ^ Wire.signal_name s; wall }
+  | Unix.WSTOPPED s, _ ->
+      Crashed { reason = "worker stopped by " ^ Wire.signal_name s; wall }
 
 let run ~jobs ?timeout count f =
   if jobs < 1 then invalid_arg "Parallel.run: jobs must be positive";
@@ -79,16 +84,20 @@ let run ~jobs ?timeout count f =
         (* Worker.  Close our read end and every other worker's read end
            (holding one open would delay that worker's EOF until we
            exit), run the job, ship the JSON, and _exit without running
-           at_exit handlers — the parent owns the std channels. *)
-        close_quietly rd;
-        List.iter (fun s -> close_quietly s.fd) !in_flight;
+           at_exit handlers — the parent owns the std channels.  SIGPIPE
+           is ignored first: if the parent died, the write must surface
+           as EPIPE through the error path below, not kill us before the
+           exit code is chosen. *)
+        Wire.close_quietly rd;
+        List.iter (fun s -> Wire.close_quietly s.fd) !in_flight;
+        Wire.ignore_sigpipe ();
         let code =
           try
-            write_all wr (Json.to_string (f job));
+            Wire.write_all wr (Json.to_string (f job));
             0
           with _ -> 3
         in
-        close_quietly wr;
+        Wire.close_quietly wr;
         Unix._exit code
     | pid ->
         Unix.close wr;
@@ -108,31 +117,12 @@ let run ~jobs ?timeout count f =
   in
   let chunk = Bytes.create 65536 in
   let reap slot =
-    let status = waitpid_retry slot.pid in
-    close_quietly slot.fd;
+    let status = Wire.waitpid_retry slot.pid in
+    Wire.close_quietly slot.fd;
     let wall = Float.max 0.0 (Timer.now () -. slot.started) in
     let outcome =
-      if slot.timed_out then
-        Crashed
-          {
-            reason =
-              Printf.sprintf "timed out after %g s (worker killed)"
-                (Option.get timeout);
-            wall;
-          }
-      else
-        match status with
-        | Unix.WEXITED 0 -> (
-            match Json.of_string (Buffer.contents slot.buf) with
-            | Ok json -> Completed json
-            | Error e ->
-                Crashed { reason = "worker result does not parse: " ^ e; wall })
-        | Unix.WEXITED c ->
-            Crashed { reason = Printf.sprintf "worker exited with code %d" c; wall }
-        | Unix.WSIGNALED s ->
-            Crashed { reason = "worker killed by " ^ signal_name s; wall }
-        | Unix.WSTOPPED s ->
-            Crashed { reason = "worker stopped by " ^ signal_name s; wall }
+      classify ~timed_out:slot.timed_out ~timeout ~status
+        ~payload:(Buffer.contents slot.buf) ~wall
     in
     (match outcome with Crashed _ -> Obs.incr c_crashed_workers | Completed _ -> ());
     results.(slot.job) <- Some outcome

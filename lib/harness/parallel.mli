@@ -17,6 +17,23 @@ type outcome =
       (** worker died (signal, nonzero exit, unparseable payload) or was
           killed at the timeout; [wall] is seconds from fork to reap *)
 
+(** Decide a reaped worker's outcome from its wait status and the bytes
+    it managed to send — a pure function, shared with the regression
+    tests.  A worker that exited 0 with a payload that parses is
+    [Completed] {e even when the deadline flag was raised}: the worker
+    can complete in the same select round its deadline expires in (the
+    SIGKILL then answers ESRCH — it was already gone), and flagging that
+    as a timeout would misreport a good result as a crash.  The timeout
+    reason claims only what is left: a genuinely killed worker or a
+    truncated payload. *)
+val classify :
+  timed_out:bool ->
+  timeout:float option ->
+  status:Unix.process_status ->
+  payload:string ->
+  wall:float ->
+  outcome
+
 (** [run ~jobs ?timeout count f] forks one worker per job (at most
     [jobs] alive at once, started in job order) and returns the
     outcome of [f i] for each [i < count].  [timeout] is per job, in

@@ -1,0 +1,79 @@
+(** Persistent pre-forked worker pool: {!Parallel}'s fault isolation
+    without the per-job fork.
+
+    {!Parallel.run} pays a full [fork] (and a cold address space) for
+    every job, which is the right trade for a handful of heavy
+    experiments and the wrong one for sweeps of many small ones — or for
+    a long-lived solve service.  A pool forks its workers {e once}; each
+    lives across jobs with whatever caches it has warmed, receives jobs
+    as length-delimited {!Json} frames on a per-worker request pipe and
+    answers on a response pipe ({!Wire} owns the framing), and is
+    reaped only at {!shutdown}.
+
+    {b Dispatch} is least-loaded with work stealing: a batch is dealt
+    round-robin into per-worker queues, each worker holds one job in
+    flight, and a worker that drains its own queue steals the next job
+    from the longest remaining queue — so one slow job cannot strand the
+    work dealt behind it.
+
+    {b Fault tolerance.}  A worker that dies mid-job (signal, OOM kill,
+    nonzero exit, corrupt response stream) is respawned and the job is
+    retried once on a fresh worker before being reported
+    {!Parallel.Crashed}.  A worker past the per-job [timeout] is
+    SIGKILLed and its job reported as a timeout crash with {e no} retry
+    (re-running it would double the blown budget).  In both cases a
+    complete buffered response beats the crash/timeout verdict — the
+    {!Parallel.classify} rule: a worker that answered and died at the
+    deadline completed.
+
+    {b Counters} (recorded in the parent, so they surface as the
+    driver's orchestration-side metrics, never inside an experiment's
+    own delta): [pool.dispatches] (jobs sent to workers, retries
+    included — deterministic), [pool.respawns] (workers replaced after a
+    death — deterministic when the crashes are), and [pool.steals]
+    (volatile: how many dispatches crossed queues depends on completion
+    timing, so it may legitimately differ between identical runs). *)
+
+type t
+
+(** [create ~workers ?timeout f] forks [workers] persistent worker
+    processes around [f].  [f] runs in the workers: state it mutates
+    there is invisible to the parent and survives {e across jobs within
+    one worker} (warm caches are the point), but never crosses workers.
+    [timeout] is the per-job budget in seconds.
+    @raise Invalid_argument when [workers < 1] or [timeout <= 0]. *)
+val create : workers:int -> ?timeout:float -> (int -> Json.t) -> t
+
+val worker_count : t -> int
+
+(** Liveness snapshot without worker I/O: a non-blocking [waitpid] per
+    worker.  A worker found dead is reaped and marked (the next batch
+    respawns it). *)
+val alive : t -> bool list
+
+(** Active health check, valid between batches: each live idle worker is
+    sent a ping frame and must answer the matching pong within
+    [timeout_s] (default 5) seconds.  A worker that fails the check is
+    killed, reaped and marked dead (the next batch respawns it). *)
+val ping : ?timeout_s:float -> t -> bool list
+
+(** [run_batch t ids] runs job id [i] as [f i] for each listed id across
+    the pool and returns [(id, outcome)] in the argument order.  Dead
+    workers are respawned first; crashes and timeouts follow the rules
+    above.  Ids need not be distinct (each occurrence is its own job).
+    @raise Invalid_argument after {!shutdown}. *)
+val run_batch : t -> int list -> (int * Parallel.outcome) list
+
+(** Graceful drain, idempotent: close every request pipe — a worker
+    reads EOF at its next frame boundary and exits 0 — then reap all
+    workers.  Workers still busy (only possible if a batch raised) are
+    killed rather than waited for. *)
+val shutdown : t -> unit
+
+(** {!Parallel.run}'s exact signature on a transient pool: fork
+    [min jobs count] workers, run jobs [0 .. count-1] as one batch,
+    drain, and return the outcomes indexed by job.
+    @raise Invalid_argument when [jobs < 1], [timeout <= 0] or
+    [count < 0]. *)
+val run :
+  jobs:int -> ?timeout:float -> int -> (int -> Json.t) -> Parallel.outcome array

@@ -12,7 +12,16 @@ val now : unit -> float
 (** [time f] is [(result, seconds)].  [seconds >= 0.] always. *)
 val time : (unit -> 'a) -> 'a * float
 
-(** Median-of-[repeat] timing in seconds (default 5), discarding results. *)
+(** Median of an already-sorted sample list, in seconds.  Tie-break for
+    even sample counts: the two central samples are {e averaged} (the
+    standard estimator — returning the upper one biases the median
+    upward by half the central gap); odd counts return the middle sample
+    unchanged, bit-identical to the historical behaviour.
+    @raise Invalid_argument on an empty list. *)
+val median_of_sorted : float list -> float
+
+(** Median-of-[repeat] timing in seconds (default 5), discarding
+    results.  Even [repeat] follows the {!median_of_sorted} tie-break. *)
 val time_median : ?repeat:int -> (unit -> 'a) -> float
 
 (** Repeated timing with spread, for structured timing artifacts: a

@@ -1,0 +1,78 @@
+(** Process and pipe machinery shared by the forked runners: robust
+    syscall wrappers and the length-delimited {!Json} frame protocol.
+
+    {!Parallel} (fork-per-job) and {!Pool} (persistent pre-forked
+    workers) both move results between processes over pipes; this module
+    owns the parts they share, so the retry/guard fixes live in exactly
+    one place.  Two transport shapes are supported: the one-shot "write
+    a single document, close, EOF is the delimiter" style of
+    {!Parallel}, and framed streams for {!Pool}, where one pipe carries
+    many documents in each direction and each must be delimited
+    explicitly.
+
+    A frame is an ASCII decimal byte length, a single ['\n'], then
+    exactly that many bytes of compact {!Json}.  The length is written
+    first so the reader never has to parse speculatively: a corrupted
+    stream surfaces as a framing or JSON error, not as a blocked read. *)
+
+(** Close, swallowing errors — for teardown paths where the descriptor
+    may already be gone. *)
+val close_quietly : Unix.file_descr -> unit
+
+(** [waitpid] restarted on [EINTR]; returns the process status. *)
+val waitpid_retry : int -> Unix.process_status
+
+(** Human name of a signal number ([Sys.sigkill] -> ["SIGKILL"], unknown
+    numbers as ["signal n"]) for crash-reason strings. *)
+val signal_name : int -> string
+
+(** Ignore SIGPIPE for the rest of the process.  Workers call this once
+    before writing results: with the default disposition, a write to a
+    pipe whose reader died kills the writer silently; ignored, the same
+    write raises [EPIPE] and flows through the normal error path. *)
+val ignore_sigpipe : unit -> unit
+
+(** [with_sigpipe_ignored f] runs [f] with SIGPIPE ignored, restoring
+    the previous disposition afterwards (also on exceptions).  For
+    parent-side writes to a worker that may have died — the failure must
+    come back as [EPIPE], not kill the whole pool. *)
+val with_sigpipe_ignored : (unit -> 'a) -> 'a
+
+(** Write the whole string, restarting interrupted or would-block
+    writes ([EINTR]/[EAGAIN]/[EWOULDBLOCK]).  A short or interrupted
+    write is a normal pipe event under signal load, not an error; any
+    other [Unix_error] (notably [EPIPE] with {!ignore_sigpipe}
+    installed) is re-raised.  Built on [Unix.single_write] — plain
+    [Unix.write] raises [EINTR] with an unknown prefix already written,
+    so a retry loop over it duplicates bytes into the stream. *)
+val write_all : Unix.file_descr -> string -> unit
+
+(** [write_frame fd json] writes one length-delimited frame via
+    {!write_all}. *)
+val write_frame : Unix.file_descr -> Json.t -> unit
+
+(** Blocking read of one frame.  [None] on EOF at a frame boundary (the
+    peer closed cleanly); [Some (Error _)] on a malformed header,
+    truncated payload or JSON parse failure.  Reads are restarted on
+    [EINTR].  This is the worker-side read loop primitive. *)
+val read_frame : Unix.file_descr -> (Json.t, string) result option
+
+(** Incremental frame decoder for the parent's select loop: bytes arrive
+    in arbitrary chunks; complete frames are handed out as they
+    materialize. *)
+type decoder
+
+val decoder : unit -> decoder
+
+(** [feed d chunk len] appends the first [len] bytes of [chunk]. *)
+val feed : decoder -> bytes -> int -> unit
+
+(** The next complete frame, if the buffered bytes contain one.
+    [Some (Error _)] means the stream is desynchronized (unparseable
+    header or payload) and the connection should be abandoned.  The
+    frame's bytes are consumed either way. *)
+val next_frame : decoder -> (Json.t, string) result option
+
+(** [true] when the decoder holds buffered bytes that do not yet form a
+    complete frame — after EOF, evidence of a truncated write. *)
+val partial : decoder -> bool

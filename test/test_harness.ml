@@ -152,6 +152,38 @@ let test_timer () =
     (Invalid_argument "Timer.time_median: repeat must be positive") (fun () ->
       ignore (Harness.Timer.time_median ~repeat:0 (fun () -> ())))
 
+let test_median_of_sorted () =
+  (* Odd counts: the middle sample, bit-identical to the historical
+     behaviour. *)
+  Alcotest.(check (float 0.0)) "singleton" 5.0
+    (Harness.Timer.median_of_sorted [ 5.0 ]);
+  Alcotest.(check (float 0.0)) "odd takes the middle" 2.0
+    (Harness.Timer.median_of_sorted [ 1.0; 2.0; 7.0 ]);
+  (* Even counts: the two central samples are averaged.  The old
+     behaviour returned the upper one (3.0 here), biasing every
+     even-repeat median upward by half the central gap. *)
+  Alcotest.(check (float 0.0)) "even averages the central pair" 2.5
+    (Harness.Timer.median_of_sorted [ 1.0; 2.0; 3.0; 4.0 ]);
+  Alcotest.(check (float 0.0)) "pair" 2.0
+    (Harness.Timer.median_of_sorted [ 1.0; 3.0 ]);
+  Alcotest.check_raises "empty list"
+    (Invalid_argument "Timer.median_of_sorted: empty list") (fun () ->
+      ignore (Harness.Timer.median_of_sorted []))
+
+let test_time_stats_even_repeat () =
+  (* With an even repeat the median is an average of real samples, so it
+     must still sit between min and max (the old upper-sample bias kept
+     this true trivially; the averaged estimator must too). *)
+  let s =
+    Harness.Timer.time_stats ~repeat:4 (fun () ->
+        ignore (Sys.opaque_identity (Array.make 64 0)))
+  in
+  Alcotest.(check int) "runs recorded" 4 s.Harness.Timer.runs;
+  Alcotest.(check bool) "min <= median <= max" true
+    (s.Harness.Timer.min <= s.Harness.Timer.median
+    && s.Harness.Timer.median <= s.Harness.Timer.max);
+  Alcotest.(check bool) "all non-negative" true (s.Harness.Timer.min >= 0.0)
+
 let test_timer_monotonic () =
   (* Timer.now reads CLOCK_MONOTONIC: successive samples never go
      backwards (gettimeofday, the old source, can — NTP slews it), and
@@ -192,6 +224,9 @@ let () =
       ( "timer",
         [
           Alcotest.test_case "timing" `Quick test_timer;
+          Alcotest.test_case "median of sorted" `Quick test_median_of_sorted;
+          Alcotest.test_case "even-repeat stats" `Quick
+            test_time_stats_even_repeat;
           Alcotest.test_case "monotonic" `Quick test_timer_monotonic;
         ] );
     ]

@@ -1,0 +1,519 @@
+(* Tests for the persistent worker pool (Harness.Pool), the shared pipe
+   machinery (Harness.Wire) and the crash/timeout classification fixes
+   in Harness.Parallel: the deadline-race rule, EINTR-hardened pipe I/O
+   under a signal storm, worker respawn with one retry, graceful drain,
+   and registry sweeps through the pool dispatch engine. *)
+
+module J = Harness.Json
+module E = Harness.Experiment
+module R = Harness.Registry
+module P = Harness.Pool
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i =
+    i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1))
+  in
+  scan 0
+
+(* --- Parallel.classify: the timeout/completion race --- *)
+
+(* The regression the pure function exists for: the worker completed
+   (exited 0, full payload buffered) in the same select round its
+   deadline expired in — the SIGKILL answered ESRCH.  Before the fix the
+   raised [timed_out] flag won and a good result was reported as a
+   timeout crash. *)
+let test_classify_deadline_race () =
+  let outcome =
+    Harness.Parallel.classify ~timed_out:true ~timeout:(Some 0.5)
+      ~status:(Unix.WEXITED 0) ~payload:"{\"x\":1}" ~wall:0.5
+  in
+  (match outcome with
+  | Harness.Parallel.Completed json ->
+      Alcotest.(check bool) "payload kept" true
+        (J.member "x" json = Some (J.Int 1))
+  | Harness.Parallel.Crashed { reason; _ } ->
+      Alcotest.failf "completed worker misreported as crashed: %s" reason);
+  (* A genuinely killed worker still reports the timeout... *)
+  (match
+     Harness.Parallel.classify ~timed_out:true ~timeout:(Some 0.5)
+       ~status:(Unix.WSIGNALED Sys.sigkill) ~payload:"" ~wall:0.6
+   with
+  | Harness.Parallel.Crashed { reason; _ } ->
+      Alcotest.(check bool) "killed worker is a timeout" true
+        (contains reason "timed out after 0.5 s")
+  | Harness.Parallel.Completed _ -> Alcotest.fail "killed worker completed?");
+  (* ...as does one that exited 0 but died mid-write (truncated payload). *)
+  (match
+     Harness.Parallel.classify ~timed_out:true ~timeout:(Some 0.5)
+       ~status:(Unix.WEXITED 0) ~payload:"{\"x\":" ~wall:0.6
+   with
+  | Harness.Parallel.Crashed { reason; _ } ->
+      Alcotest.(check bool) "truncated payload is a timeout" true
+        (contains reason "timed out")
+  | Harness.Parallel.Completed _ -> Alcotest.fail "truncated payload completed?");
+  (* Without the flag, plain crash classification is untouched. *)
+  match
+    Harness.Parallel.classify ~timed_out:false ~timeout:None
+      ~status:(Unix.WEXITED 3) ~payload:"" ~wall:0.1
+  with
+  | Harness.Parallel.Crashed { reason; _ } ->
+      Alcotest.(check bool) "exit code reported" true
+        (contains reason "exited with code 3")
+  | Harness.Parallel.Completed _ -> Alcotest.fail "exit 3 completed?"
+
+(* --- Wire: framing and the streaming decoder --- *)
+
+let frame json =
+  let payload = J.to_string json in
+  string_of_int (String.length payload) ^ "\n" ^ payload
+
+let test_wire_decoder_split_feed () =
+  let d = Harness.Wire.decoder () in
+  let msg = J.Obj [ ("job", J.Int 7); ("payload", J.List [ J.Int 1 ]) ] in
+  let bytes = frame msg in
+  (* One byte at a time: no prefix shorter than the whole frame yields
+     anything, the full frame yields exactly the message. *)
+  String.iteri
+    (fun i c ->
+      let got =
+        Harness.Wire.feed d (Bytes.make 1 c) 1;
+        Harness.Wire.next_frame d
+      in
+      if i < String.length bytes - 1 then
+        Alcotest.(check bool)
+          (Printf.sprintf "no frame after %d bytes" (i + 1))
+          true (got = None)
+      else
+        Alcotest.(check bool) "full frame decodes" true (got = Some (Ok msg)))
+    bytes;
+  Alcotest.(check bool) "decoder drained" false (Harness.Wire.partial d);
+  (* Two frames plus a partial third in a single feed. *)
+  let m1 = J.Int 1 and m2 = J.Obj [ ("k", J.Bool true) ] in
+  let all = frame m1 ^ frame m2 ^ "5\n{\"a\"" in
+  Harness.Wire.feed d (Bytes.of_string all) (String.length all);
+  Alcotest.(check bool) "first frame" true
+    (Harness.Wire.next_frame d = Some (Ok m1));
+  Alcotest.(check bool) "second frame" true
+    (Harness.Wire.next_frame d = Some (Ok m2));
+  Alcotest.(check bool) "third incomplete" true
+    (Harness.Wire.next_frame d = None);
+  Alcotest.(check bool) "partial bytes held" true (Harness.Wire.partial d)
+
+let test_wire_decoder_bad_header () =
+  let d = Harness.Wire.decoder () in
+  let junk = "nonsense\n{}" in
+  Harness.Wire.feed d (Bytes.of_string junk) (String.length junk);
+  (match Harness.Wire.next_frame d with
+  | Some (Error e) ->
+      Alcotest.(check bool) "names the header" true (contains e "nonsense")
+  | _ -> Alcotest.fail "bad header accepted");
+  let d2 = Harness.Wire.decoder () in
+  let long = String.make 30 '1' in
+  Harness.Wire.feed d2 (Bytes.of_string long) (String.length long);
+  match Harness.Wire.next_frame d2 with
+  | Some (Error e) ->
+      Alcotest.(check bool) "overlong header rejected" true (contains e "too long")
+  | _ -> Alcotest.fail "overlong header accepted"
+
+let test_wire_frame_roundtrip () =
+  let rd, wr = Unix.pipe () in
+  Fun.protect
+    ~finally:(fun () ->
+      Harness.Wire.close_quietly rd;
+      Harness.Wire.close_quietly wr)
+    (fun () ->
+      let msg = J.Obj [ ("s", J.String "n\xe2\x9c\x93l\n") ] in
+      Harness.Wire.write_frame wr msg;
+      (match Harness.Wire.read_frame rd with
+      | Some (Ok got) -> Alcotest.(check bool) "round-trips" true (got = msg)
+      | Some (Error e) -> Alcotest.failf "frame failed: %s" e
+      | None -> Alcotest.fail "unexpected EOF");
+      Unix.close wr;
+      Alcotest.(check bool) "EOF is None" true
+        (Harness.Wire.read_frame rd = None))
+
+(* --- signal storms: EINTR on every pipe path --- *)
+
+(* Flood both sides with SIGALRM while payloads several times the pipe
+   buffer stream through: worker writes block and get interrupted
+   (Wire.write_all must retry), parent select/reads get interrupted.
+   Before write_all retried EINTR, this lost workers to spurious
+   exceptions and misreported completed jobs as crashes. *)
+let with_parent_storm f =
+  let old_handler =
+    Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> ()))
+  in
+  let stop = { Unix.it_interval = 0.0; it_value = 0.0 } in
+  let storm = { Unix.it_interval = 0.002; it_value = 0.002 } in
+  ignore (Unix.setitimer Unix.ITIMER_REAL storm);
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Unix.setitimer Unix.ITIMER_REAL stop);
+      Sys.set_signal Sys.sigalrm old_handler)
+    f
+
+let storm_job i =
+  (* Re-arm inside the worker: interval timers do not survive fork. *)
+  Sys.set_signal Sys.sigalrm (Sys.Signal_handle (fun _ -> ()));
+  ignore
+    (Unix.setitimer Unix.ITIMER_REAL
+       { Unix.it_interval = 0.0005; it_value = 0.0005 });
+  J.Obj [ ("i", J.Int i); ("blob", J.String (String.make 200_000 'x')) ]
+
+let check_storm_outcomes outcomes =
+  Array.iteri
+    (fun i outcome ->
+      match outcome with
+      | Harness.Parallel.Completed json ->
+          Alcotest.(check bool)
+            (Printf.sprintf "job %d payload intact" i)
+            true
+            (J.member "i" json = Some (J.Int i)
+            &&
+            match J.member "blob" json with
+            | Some (J.String s) -> String.length s = 200_000
+            | _ -> false)
+      | Harness.Parallel.Crashed { reason; _ } ->
+          Alcotest.failf "job %d crashed under signal storm: %s" i reason)
+    outcomes
+
+let test_parallel_eintr_storm () =
+  with_parent_storm (fun () ->
+      check_storm_outcomes (Harness.Parallel.run ~jobs:4 40 storm_job))
+
+let test_pool_eintr_storm () =
+  with_parent_storm (fun () ->
+      check_storm_outcomes (P.run ~jobs:4 40 storm_job))
+
+(* --- Pool basics --- *)
+
+let test_pool_run_basics () =
+  let out = P.run ~jobs:3 10 (fun i -> J.Int (i * i)) in
+  Alcotest.(check int) "all jobs answered" 10 (Array.length out);
+  Array.iteri
+    (fun i outcome ->
+      match outcome with
+      | Harness.Parallel.Completed (J.Int v) ->
+          Alcotest.(check int) (Printf.sprintf "job %d" i) (i * i) v
+      | _ -> Alcotest.failf "job %d did not complete" i)
+    out;
+  (* More workers than jobs is clamped, zero jobs is empty. *)
+  Alcotest.(check int) "count 0" 0 (Array.length (P.run ~jobs:4 0 (fun _ -> J.Null)));
+  Alcotest.check_raises "jobs 0 rejected"
+    (Invalid_argument "Pool.run: jobs must be positive") (fun () ->
+      ignore (P.run ~jobs:0 1 (fun _ -> J.Null)));
+  Alcotest.check_raises "negative timeout rejected"
+    (Invalid_argument "Pool.run: timeout must be positive") (fun () ->
+      ignore (P.run ~jobs:1 ~timeout:(-1.0) 1 (fun _ -> J.Null)))
+
+(* Workers persist across jobs and batches: every job on a 1-worker pool
+   reports the same worker pid, across two separate batches.  This is
+   the property fork-per-job cannot have, and the whole point of the
+   pool (warm caches live exactly as long as the worker). *)
+let test_pool_workers_persist () =
+  let p = P.create ~workers:1 (fun _ -> J.Int (Unix.getpid ())) in
+  Fun.protect ~finally:(fun () -> P.shutdown p) @@ fun () ->
+  Alcotest.(check int) "worker count" 1 (P.worker_count p);
+  let pids =
+    List.concat_map
+      (fun batch ->
+        List.map
+          (fun (_, outcome) ->
+            match outcome with
+            | Harness.Parallel.Completed (J.Int pid) -> pid
+            | _ -> Alcotest.fail "job did not complete")
+          (P.run_batch p batch))
+      [ [ 0; 1; 2 ]; [ 3; 4 ] ]
+  in
+  Alcotest.(check int) "five answers" 5 (List.length pids);
+  Alcotest.(check bool) "one persistent worker served all jobs" true
+    (List.for_all (fun pid -> pid = List.hd pids) pids);
+  Alcotest.(check bool) "worker is not the test process" true
+    (List.hd pids <> Unix.getpid ())
+
+(* --- fault tolerance --- *)
+
+(* A job that kills its worker on first attempt and succeeds on the
+   retry (a crash marker file distinguishes the attempts).  The pool
+   must respawn the worker and deliver the retried result; the counters
+   record exactly one respawn and jobs+1 dispatches. *)
+let test_pool_respawn_retry_success () =
+  let marker = Filename.temp_file "pool_retry" ".flag" in
+  Sys.remove marker;
+  Fun.protect ~finally:(fun () -> if Sys.file_exists marker then Sys.remove marker)
+  @@ fun () ->
+  let module Obs = Harness.Obs in
+  let ambient = Obs.level () in
+  Obs.set_level Obs.Counters;
+  Fun.protect ~finally:(fun () -> Obs.set_level ambient) @@ fun () ->
+  let snap = Obs.snapshot () in
+  let out =
+    P.run ~jobs:2 3 (fun i ->
+        if i = 1 && not (Sys.file_exists marker) then begin
+          let oc = open_out marker in
+          close_out oc;
+          Unix.kill (Unix.getpid ()) Sys.sigkill
+        end;
+        J.Int (i * 10))
+  in
+  Array.iteri
+    (fun i outcome ->
+      match outcome with
+      | Harness.Parallel.Completed (J.Int v) ->
+          Alcotest.(check int) (Printf.sprintf "job %d" i) (i * 10) v
+      | Harness.Parallel.Completed _ ->
+          Alcotest.failf "job %d returned an unexpected payload" i
+      | Harness.Parallel.Crashed { reason; _ } ->
+          Alcotest.failf "job %d crashed despite retry: %s" i reason)
+    out;
+  Alcotest.(check bool) "first attempt really crashed" true
+    (Sys.file_exists marker);
+  let d = Obs.delta snap in
+  Alcotest.(check bool) "one respawn recorded" true
+    (List.mem_assoc "pool.respawns" d.Obs.counters
+    && List.assoc "pool.respawns" d.Obs.counters = 1);
+  Alcotest.(check bool) "dispatches = jobs + one retry" true
+    (List.assoc_opt "pool.dispatches" d.Obs.counters = Some 4)
+
+(* A worker that dies on both attempts: the job is Crashed with the
+   signal named, siblings are untouched. *)
+let test_pool_persistent_crash () =
+  let out =
+    P.run ~jobs:2 4 (fun i ->
+        if i = 2 then Unix.kill (Unix.getpid ()) Sys.sigkill;
+        J.Int i)
+  in
+  (match out.(2) with
+  | Harness.Parallel.Crashed { reason; _ } ->
+      Alcotest.(check string) "reason names the signal"
+        "worker killed by SIGKILL" reason
+  | Harness.Parallel.Completed _ -> Alcotest.fail "crasher completed?");
+  List.iter
+    (fun i ->
+      match out.(i) with
+      | Harness.Parallel.Completed (J.Int v) ->
+          Alcotest.(check int) (Printf.sprintf "sibling %d" i) i v
+      | _ -> Alcotest.failf "sibling %d crashed" i)
+    [ 0; 1; 3 ]
+
+(* A timed-out job is killed and reported with the timeout reason and
+   no retry (the deadline must not be paid twice); siblings complete. *)
+let test_pool_timeout () =
+  let module Obs = Harness.Obs in
+  let ambient = Obs.level () in
+  Obs.set_level Obs.Counters;
+  Fun.protect ~finally:(fun () -> Obs.set_level ambient) @@ fun () ->
+  let snap = Obs.snapshot () in
+  let out =
+    P.run ~jobs:2 ~timeout:0.2 3 (fun i ->
+        if i = 1 then ignore (Unix.select [] [] [] 30.0);
+        J.Int i)
+  in
+  (match out.(1) with
+  | Harness.Parallel.Crashed { reason; wall } ->
+      Alcotest.(check bool) "reason says timed out" true
+        (contains reason "timed out after 0.2 s");
+      Alcotest.(check bool) "wall at least the budget" true (wall >= 0.2)
+  | Harness.Parallel.Completed _ -> Alcotest.fail "sleeper completed?");
+  List.iter
+    (fun i ->
+      match out.(i) with
+      | Harness.Parallel.Completed (J.Int v) ->
+          Alcotest.(check int) (Printf.sprintf "fast job %d" i) i v
+      | _ -> Alcotest.failf "fast job %d crashed" i)
+    [ 0; 2 ];
+  let d = Obs.delta snap in
+  Alcotest.(check bool) "timeout not retried: dispatches = jobs" true
+    (List.assoc_opt "pool.dispatches" d.Obs.counters = Some 3)
+
+(* --- work stealing --- *)
+
+(* 2 workers, 12 jobs dealt round-robin, job 0 sleeps: worker 1 drains
+   its own six fast jobs and must steal from worker 0's queue, so the
+   batch finishes long before the sleeper alone would let worker 0's
+   share.  The steal count is timing-dependent by nature — which is
+   exactly why pool.steals is a volatile counter — but under a 0.6 s
+   head start at least one steal is certain. *)
+let test_pool_work_stealing () =
+  let module Obs = Harness.Obs in
+  let ambient = Obs.level () in
+  Obs.set_level Obs.Counters;
+  Fun.protect ~finally:(fun () -> Obs.set_level ambient) @@ fun () ->
+  let snap = Obs.snapshot () in
+  let p =
+    P.create ~workers:2 (fun i ->
+        if i = 0 then ignore (Unix.select [] [] [] 0.6);
+        J.Int i)
+  in
+  Fun.protect ~finally:(fun () -> P.shutdown p) @@ fun () ->
+  let results = P.run_batch p (List.init 12 Fun.id) in
+  Alcotest.(check (list int)) "argument order kept" (List.init 12 Fun.id)
+    (List.map fst results);
+  List.iter
+    (fun (i, outcome) ->
+      match outcome with
+      | Harness.Parallel.Completed (J.Int v) ->
+          Alcotest.(check int) (Printf.sprintf "job %d" i) i v
+      | _ -> Alcotest.failf "job %d crashed" i)
+    results;
+  let d = Obs.delta snap in
+  Alcotest.(check bool) "dispatches deterministic" true
+    (List.assoc_opt "pool.dispatches" d.Obs.counters = Some 12);
+  Alcotest.(check bool) "at least one steal, recorded volatile" true
+    (match List.assoc_opt "pool.steals" d.Obs.volatile with
+    | Some n -> n >= 1
+    | None -> false);
+  Alcotest.(check bool) "steals never in the deterministic section" true
+    (not (List.mem_assoc "pool.steals" d.Obs.counters))
+
+(* --- health checks and drain --- *)
+
+let test_pool_alive_ping_shutdown () =
+  let p =
+    P.create ~workers:2 (fun i ->
+        (* Job 0 arms a time bomb: the worker answers normally, then the
+           default SIGALRM disposition kills it ~1 s later while idle. *)
+        if i = 0 then ignore (Unix.alarm 1);
+        J.Int i)
+  in
+  Fun.protect ~finally:(fun () -> P.shutdown p) @@ fun () ->
+  Alcotest.(check (list bool)) "all alive at start" [ true; true ] (P.alive p);
+  Alcotest.(check (list bool)) "all answer ping" [ true; true ] (P.ping p);
+  let b1 = P.run_batch p [ 0; 1 ] in
+  Alcotest.(check int) "first batch done" 2 (List.length b1);
+  ignore (Unix.select [] [] [] 1.3);
+  (* The bomb went off while the worker sat idle: liveness sees it. *)
+  Alcotest.(check (list bool)) "dead worker detected" [ false; true ]
+    (P.alive p);
+  Alcotest.(check (list bool)) "ping agrees" [ false; true ] (P.ping p);
+  (* The next batch respawns the dead slot and completes on both. *)
+  let b2 = P.run_batch p [ 5; 6 ] in
+  List.iter
+    (fun (i, outcome) ->
+      match outcome with
+      | Harness.Parallel.Completed (J.Int v) ->
+          Alcotest.(check int) (Printf.sprintf "job %d after respawn" i) i v
+      | _ -> Alcotest.failf "job %d crashed after respawn" i)
+    b2;
+  Alcotest.(check (list bool)) "full strength again" [ true; true ] (P.alive p);
+  P.shutdown p;
+  P.shutdown p (* idempotent *);
+  Alcotest.(check (list bool)) "drained" [ false; false ] (P.alive p);
+  Alcotest.check_raises "run_batch after shutdown"
+    (Invalid_argument "Pool.run_batch: pool is shut down") (fun () ->
+      ignore (P.run_batch p [ 1 ]))
+
+(* --- registry sweeps through the pool engine --- *)
+
+let descr ~id run =
+  { E.id; claim = "claim " ^ id; expected = "expected " ^ id; tag = E.Table; run }
+
+let with_clean_registry f =
+  R.clear ();
+  Fun.protect ~finally:R.clear f
+
+let test_registry_pool_matches_sequential () =
+  with_clean_registry (fun () ->
+      for i = 1 to 5 do
+        let id = Printf.sprintf "P%d" i in
+        R.register
+          (descr ~id (fun ctx ->
+               E.outf ctx "result %d\n" (i * i);
+               ignore (E.check ctx ~label:"square" (i * i = i * i));
+               E.measure ctx "sq" (E.Int (i * i));
+               E.measure ctx "q" (E.Rat (Exact.Q.make i (i + 1)))))
+      done;
+      let seq = R.run ~echo:ignore (R.all ()) in
+      let strip results =
+        J.to_string (R.strip_timings (R.report_json ~scale:E.Full results))
+      in
+      List.iter
+        (fun jobs ->
+          let pooled =
+            R.run_parallel ~jobs ~dispatch:`Pool ~echo:ignore (R.all ())
+          in
+          Alcotest.(check (list string))
+            (Printf.sprintf "registration order kept at %d workers" jobs)
+            (List.map (fun (r : E.result) -> r.E.id) seq)
+            (List.map (fun (r : E.result) -> r.E.id) pooled);
+          Alcotest.(check string)
+            (Printf.sprintf "stripped artifact byte-identical at %d workers"
+               jobs)
+            (strip seq) (strip pooled);
+          Alcotest.(check bool) "no crashes" true
+            ((R.summarize pooled).R.crashed = 0))
+        [ 1; 2; 4 ])
+
+let test_registry_pool_crash_isolation () =
+  with_clean_registry (fun () ->
+      List.iter
+        (fun id ->
+          R.register
+            (descr ~id (fun ctx -> ignore (E.check ctx ~label:"fine" true))))
+        [ "C1"; "C2"; "C3" ];
+      let results =
+        R.run_parallel ~jobs:2 ~dispatch:`Pool ~force_crash:[ "C2" ]
+          ~echo:ignore (R.all ())
+      in
+      let find id =
+        match List.find_opt (fun (r : E.result) -> r.E.id = id) results with
+        | Some r -> r
+        | None -> Alcotest.failf "no result for %s" id
+      in
+      let c2 = find "C2" in
+      Alcotest.(check bool) "forced experiment crashed (after its retry)" true
+        (c2.E.verdict = E.Crashed);
+      Alcotest.(check bool) "reason names the signal" true
+        (List.exists (fun l -> contains l "SIGKILL") c2.E.failed_labels);
+      List.iter
+        (fun id ->
+          Alcotest.(check bool) (id ^ " unaffected") true
+            ((find id).E.verdict = E.Pass))
+        [ "C1"; "C3" ];
+      Alcotest.(check int) "summary counts the crash" 1
+        (R.summarize results).R.crashed)
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "classify",
+        [
+          Alcotest.test_case "deadline race" `Quick test_classify_deadline_race;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "decoder split feed" `Quick
+            test_wire_decoder_split_feed;
+          Alcotest.test_case "decoder bad header" `Quick
+            test_wire_decoder_bad_header;
+          Alcotest.test_case "frame roundtrip" `Quick test_wire_frame_roundtrip;
+        ] );
+      ( "eintr",
+        [
+          Alcotest.test_case "fork runner under signal storm" `Quick
+            test_parallel_eintr_storm;
+          Alcotest.test_case "pool under signal storm" `Quick
+            test_pool_eintr_storm;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "run basics" `Quick test_pool_run_basics;
+          Alcotest.test_case "workers persist" `Quick test_pool_workers_persist;
+          Alcotest.test_case "respawn + retry success" `Quick
+            test_pool_respawn_retry_success;
+          Alcotest.test_case "persistent crash" `Quick
+            test_pool_persistent_crash;
+          Alcotest.test_case "timeout" `Quick test_pool_timeout;
+          Alcotest.test_case "work stealing" `Quick test_pool_work_stealing;
+          Alcotest.test_case "alive/ping/shutdown" `Quick
+            test_pool_alive_ping_shutdown;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "pool matches sequential" `Quick
+            test_registry_pool_matches_sequential;
+          Alcotest.test_case "pool crash isolation" `Quick
+            test_registry_pool_crash_isolation;
+        ] );
+    ]
