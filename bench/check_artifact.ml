@@ -95,6 +95,13 @@ let gate file =
       let checks = member_exn "checks" e ~ctx in
       let failed = as_int ~ctx (member_exn "failed" checks ~ctx) in
       if failed > 0 then fail "%s: %d failed check(s)" ctx failed;
+      (* Optional game tag: absent means the tuple game; when present it
+         must name a known GAME instance. *)
+      (match J.member "game" e with
+      | None -> ()
+      | Some (J.String ("tuple" | "subgraph")) -> ()
+      | Some (J.String g) -> fail "%s: unknown game tag %S" ctx g
+      | Some _ -> fail "%s: \"game\" is not a string" ctx);
       ignore (member_exn "measures" e ~ctx);
       ignore (member_exn "wall_s" e ~ctx);
       (* Optional metrics object: three sections, positive integer

@@ -343,7 +343,14 @@ let f6 ctx =
 let register () =
   let r ~id ~claim ~expected run =
     Harness.Registry.register
-      { Harness.Experiment.id; tag = Harness.Experiment.Figure; claim; expected; run }
+      {
+        Harness.Experiment.id;
+        tag = Harness.Experiment.Figure;
+        claim;
+        expected;
+        game = "tuple";
+        run;
+      }
   in
   r ~id:"F1"
     ~claim:"Thm 4.13: A_tuple runs in O(k*n)"

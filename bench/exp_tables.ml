@@ -1023,7 +1023,8 @@ let t13 ctx =
 
 let register () =
   let r ~id ~tag ~claim ~expected run =
-    Harness.Registry.register { Harness.Experiment.id; tag; claim; expected; run }
+    Harness.Registry.register
+      { Harness.Experiment.id; tag; claim; expected; game = "tuple"; run }
   in
   r ~id:"T1" ~tag:Harness.Experiment.Table
     ~claim:

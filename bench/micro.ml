@@ -904,7 +904,14 @@ let b16 ctx =
 let register () =
   let r ~id ~claim ~expected run =
     Harness.Registry.register
-      { Harness.Experiment.id; tag = Harness.Experiment.Micro; claim; expected; run }
+      {
+        Harness.Experiment.id;
+        tag = Harness.Experiment.Micro;
+        claim;
+        expected;
+        game = "tuple";
+        run;
+      }
   in
   r ~id:"B0"
     ~claim:

@@ -16,7 +16,10 @@ let ensure_registered () =
   if R.all () = [] then begin
     Exp_tables.register ();
     Exp_figures.register ();
-    Micro.register ()
+    Micro.register ();
+    (* last: the S family lands after the tuple experiments, keeping
+       tuple artifact prefixes stable *)
+    Exp_subgraph.register ()
   end
 
 (* Legacy group selectors, mapped by id prefix: T*/A* are the table
@@ -25,6 +28,7 @@ let group_prefixes = function
   | "tables" -> Some [ "T"; "A" ]
   | "figures" -> Some [ "F" ]
   | "micro" -> Some [ "B" ]
+  | "subgraph" -> Some [ "S" ]
   | "all" | "smoke" -> Some []
   | _ -> None
 
@@ -106,7 +110,7 @@ let run opts =
         None
     | _, None ->
         Printf.eprintf
-          "error: unknown selector %S (use tables|figures|micro|smoke|all)\n"
+          "error: unknown selector %S (use tables|figures|micro|subgraph|smoke|all)\n"
           opts.group;
         None
     | Ok es, Some prefixes -> Some (List.filter (in_group prefixes) es)

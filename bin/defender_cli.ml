@@ -54,6 +54,23 @@ let k_arg =
 let nu_arg =
   Arg.(value & opt int 1 & info [ "nu" ] ~docv:"NU" ~doc:"Number of attackers.")
 
+(* GAME instance selection, on the subcommands whose engine is
+   functorized over it (fp, dynamics).  The tuple game reads --k; the
+   connected-subgraph game reads --lambda. *)
+let game_arg =
+  Arg.(
+    value
+    & opt (enum [ ("tuple", `Tuple); ("subgraph", `Subgraph) ]) `Tuple
+    & info [ "game" ] ~docv:"GAME"
+        ~doc:"Game instance: $(b,tuple) (k edges) or $(b,subgraph) (a \
+              lambda-vertex connected subgraph).")
+
+let lambda_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "lambda" ] ~docv:"LAMBDA"
+        ~doc:"Defender subgraph size (subgraph game only).")
+
 let handle f = try `Ok (f ()) with
   | Invalid_argument msg | Failure msg ->
       `Error (false, msg)
@@ -231,31 +248,41 @@ let fp_cmd =
   let rounds_arg =
     Arg.(value & opt int 20_000 & info [ "rounds" ] ~docv:"N" ~doc:"Play rounds.")
   in
-  let run file family seed nu k rounds metrics trace =
+  let run file family seed nu k game lambda rounds metrics trace =
     handle (fun () ->
         with_obs ~metrics ~trace @@ fun () ->
         let g = load_graph file family seed in
-        let m = Defender.Model.make ~graph:g ~nu ~k in
-        let r = Sim.Fictitious.run (Prng.Rng.create seed) m ~rounds in
-        Printf.printf
-          "fictitious play over %d rounds: average gain %.4f (tail %.4f)\n" rounds
-          r.Sim.Fictitious.avg_gain r.Sim.Fictitious.tail_avg_gain;
-        (match Defender.Tuple_nash.a_tuple_auto m with
-        | Ok prof ->
-            Printf.printf "k-matching NE prediction: %s\n"
-              (Exact.Q.to_string (Defender.Gain.defender_gain prof))
-        | Error _ -> ());
-        if k = 1 then
-          let d = Defender.Minimax.solve g in
-          Printf.printf "max-min prediction: nu * %s = %.4f\n"
-            (Exact.Q.to_string d.Defender.Minimax.value)
-            (Exact.Q.to_float (Exact.Q.mul_int d.Defender.Minimax.value nu)))
+        match game with
+        | `Tuple ->
+            let m = Defender.Model.make ~graph:g ~nu ~k in
+            let r = Sim.Fictitious.run (Prng.Rng.create seed) m ~rounds in
+            Printf.printf
+              "fictitious play over %d rounds: average gain %.4f (tail %.4f)\n"
+              rounds r.Sim.Fictitious.avg_gain r.Sim.Fictitious.tail_avg_gain;
+            (match Defender.Tuple_nash.a_tuple_auto m with
+            | Ok prof ->
+                Printf.printf "k-matching NE prediction: %s\n"
+                  (Exact.Q.to_string (Defender.Gain.defender_gain prof))
+            | Error _ -> ());
+            if k = 1 then
+              let d = Defender.Minimax.solve g in
+              Printf.printf "max-min prediction: nu * %s = %.4f\n"
+                (Exact.Q.to_string d.Defender.Minimax.value)
+                (Exact.Q.to_float (Exact.Q.mul_int d.Defender.Minimax.value nu))
+        | `Subgraph ->
+            let module F = Sim.Sim_instance.Subgraph.Fictitious in
+            let inst = Defender.Subgraph_game.make ~graph:g ~nu ~lambda in
+            let r = F.run (Prng.Rng.create seed) inst ~rounds in
+            Printf.printf
+              "fictitious play (subgraph game, lambda = %d) over %d rounds: \
+               average gain %.4f (tail %.4f)\n"
+              lambda rounds r.F.avg_gain r.F.tail_avg_gain)
   in
   Cmd.v (Cmd.info "fp" ~doc:"Fictitious-play learning dynamics.")
     Term.(
       ret
-        (const run $ file_arg $ family_arg $ seed_arg $ nu_arg $ k_arg $ rounds_arg
-       $ metrics_arg $ trace_arg))
+        (const run $ file_arg $ family_arg $ seed_arg $ nu_arg $ k_arg $ game_arg
+       $ lambda_arg $ rounds_arg $ metrics_arg $ trace_arg))
 
 (* pure *)
 let pure_cmd =
@@ -383,26 +410,45 @@ let dynamics_cmd =
   let steps_arg =
     Arg.(value & opt int 10_000 & info [ "max-steps" ] ~docv:"N" ~doc:"Step budget.")
   in
-  let run file family seed nu k max_steps =
+  let run file family seed nu k game lambda max_steps =
     handle (fun () ->
         let g = load_graph file family seed in
-        let m = Defender.Model.make ~graph:g ~nu ~k in
-        match Sim.Dynamics.run (Prng.Rng.create seed) m ~max_steps with
-        | Sim.Dynamics.Converged { steps; profile } ->
-            Printf.printf
-              "converged to a pure NE after %d steps; defender plays {%s}\n" steps
-              (String.concat ","
-                 (List.map string_of_int
-                    (Defender.Tuple.to_list profile.Defender.Profile.tp_choice)))
-        | Sim.Dynamics.Cycling { steps } ->
-            Printf.printf
-              "still churning after %d steps — consistent with no pure NE \
-               (rho = %d vs k = %d)\n"
-              steps (Matching.Edge_cover.rho g) k)
+        match game with
+        | `Tuple -> (
+            let m = Defender.Model.make ~graph:g ~nu ~k in
+            match Sim.Dynamics.run (Prng.Rng.create seed) m ~max_steps with
+            | Sim.Dynamics.Converged { steps; profile } ->
+                Printf.printf
+                  "converged to a pure NE after %d steps; defender plays {%s}\n"
+                  steps
+                  (String.concat ","
+                     (List.map string_of_int
+                        (Defender.Tuple.to_list profile.Defender.Profile.tp_choice)))
+            | Sim.Dynamics.Cycling { steps } ->
+                Printf.printf
+                  "still churning after %d steps — consistent with no pure NE \
+                   (rho = %d vs k = %d)\n"
+                  steps (Matching.Edge_cover.rho g) k)
+        | `Subgraph -> (
+            let module D = Sim.Sim_instance.Subgraph.Dynamics in
+            let inst = Defender.Subgraph_game.make ~graph:g ~nu ~lambda in
+            match D.run (Prng.Rng.create seed) inst ~max_steps with
+            | D.Converged { steps; profile } ->
+                Printf.printf
+                  "converged to a pure NE after %d steps; defender plays %s\n"
+                  steps
+                  (Format.asprintf "%a" Defender.Subgraph_game.Strategy.pp
+                     profile.tp_choice)
+            | D.Cycling { steps } ->
+                Printf.printf
+                  "still churning after %d steps — consistent with no pure NE\n"
+                  steps))
   in
   Cmd.v (Cmd.info "dynamics" ~doc:"Best-response dynamics.")
     Term.(
-      ret (const run $ file_arg $ family_arg $ seed_arg $ nu_arg $ k_arg $ steps_arg))
+      ret
+        (const run $ file_arg $ family_arg $ seed_arg $ nu_arg $ k_arg $ game_arg
+       $ lambda_arg $ steps_arg))
 
 (* experiments: drive the shared registry (same set as bench/main.exe) *)
 let experiments_cmd =

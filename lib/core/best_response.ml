@@ -1,64 +1,16 @@
 open Netgraph
 module Q = Exact.Q
 
-let graph m = Model.graph (Profile.model m)
+(* Best responses: the engine's generic sweeps pinned to the tuple game
+   (vp scan, guarded tuple enumeration, certificate upper bound)... *)
 
-(* One count per full sweep over the vertex (resp. edge×k) space — the
-   unit B7 times and B15 gates its observability overhead on. *)
-let c_vp_sweeps = Obs.counter "br.vp_sweeps"
+include Tuple_instance.Engine.Best_response
+
+let tp_best_tuple_exhaustive = tp_best_exhaustive
+
+(* ... plus the tuple-specific greedy max-coverage baseline, counted
+   separately from the exhaustive path (B15 gates on br.* counters). *)
 let c_tp_greedy_sweeps = Obs.counter "br.tp_greedy_sweeps"
-
-let vp_best_vertex ?naive m =
-  Obs.incr c_vp_sweeps;
-  let g = graph m in
-  let best = ref 0 and best_hit = ref (Profile.hit_prob ?naive m 0) in
-  for v = 1 to Graph.n g - 1 do
-    let h = Profile.hit_prob ?naive m v in
-    if Q.( < ) h !best_hit then begin
-      best := v;
-      best_hit := h
-    end
-  done;
-  !best
-
-let vp_best_value ?naive m =
-  Q.sub Q.one (Profile.hit_prob ?naive m (vp_best_vertex ?naive m))
-
-let check_limit m limit =
-  match Model.tuple_space_size (Profile.model m) with
-  | Some c when c <= limit -> ()
-  | _ -> invalid_arg "Best_response: tuple space too large for enumeration"
-
-let tp_best_tuple_exhaustive ?(limit = 2_000_000) ?naive m =
-  check_limit m limit;
-  let g = graph m in
-  let k = Model.k (Profile.model m) in
-  let best = ref None in
-  let _ =
-    Tuple.fold_enumerate g ~k ~init:() ~f:(fun () t ->
-        let value = Profile.expected_load_tuple ?naive m t in
-        match !best with
-        | Some (_, v) when Q.( >= ) v value -> ()
-        | _ -> best := Some (t, value))
-  in
-  match !best with Some (t, _) -> t | None -> assert false
-
-let tp_best_value_exhaustive ?limit ?naive m =
-  Profile.expected_load_tuple ?naive m (tp_best_tuple_exhaustive ?limit ?naive m)
-
-let tp_upper_bound ?naive m =
-  let g = graph m in
-  let k = Model.k (Profile.model m) in
-  let loads =
-    List.init (Graph.m g) (fun id -> Profile.expected_load_edge ?naive m id)
-    |> List.sort (fun a b -> Q.compare b a)
-  in
-  let rec take i acc = function
-    | [] -> acc
-    | _ when i = k -> acc
-    | l :: rest -> take (i + 1) (Q.add acc l) rest
-  in
-  take 0 Q.zero loads
 
 let tp_greedy_value ?naive m =
   Obs.incr c_tp_greedy_sweeps;

@@ -19,16 +19,19 @@ let graph t = t.graph
 let nu t = t.nu
 let k t = t.k
 
+module Q = Exact.Q
+
+(* The true C(m, k) over the bignum tower — exact at any size.  The
+   native-int projection below keeps the historical option interface for
+   enumeration guards; the old wrap-detecting product could report None
+   (and so refuse enumeration) for counts that actually fit, because an
+   intermediate product overflowed before its exact division. *)
+let tuple_space_size_exact t = Q.binomial (Graph.m t.graph) t.k
+
 let tuple_space_size t =
-  let m = Graph.m t.graph and k = t.k in
-  (* C(m, k) with overflow detection. *)
-  let rec go i acc =
-    if i > k then Some acc
-    else
-      let next = acc * (m - k + i) in
-      if next / (m - k + i) <> acc then None else go (i + 1) (next / i)
-  in
-  go 1 1
+  match Q.to_int_exn (tuple_space_size_exact t) with
+  | c -> Some c
+  | exception Q.Overflow -> None
 
 let pp fmt t =
   Format.fprintf fmt "Pi_%d(G[n=%d,m=%d], nu=%d)" t.k (Graph.n t.graph)

@@ -2,22 +2,16 @@ open Netgraph
 module Q = Exact.Q
 module Finite = Dist.Finite
 
-type t = {
-  model : Model.t;
-  hit : Q.t array;
-  load : Q.t array;
-  edge_load : Q.t array;
-}
+(* The generic engine owns the tables and the incremental patches; this
+   wrapper pins it to the tuple game and keeps the historical names. *)
+include Tuple_instance.Engine.Kernel
 
-(* The patch-vs-rebuild economics this kernel exists for, as counters:
-   how many full builds, how many O(deg) patches, and how many cells
-   each copy-on-write patch actually duplicated.  Profile's naive_*
-   rescans count on the other side (kernel.naive_rescans), so a sweep's
-   metrics expose the ratio the incremental design is betting on. *)
-let c_builds = Obs.counter "kernel.builds"
-let c_vp_patches = Obs.counter "kernel.vp_patches"
-let c_tp_patches = Obs.counter "kernel.tp_patches"
-let c_cow_cells = Obs.counter "kernel.cow_cells"
+let model = instance
+let expected_load_tuple = expected_load_strategy
+
+(* Tuple-agnostic extras that live outside the per-game engine: the
+   primitives behind Minimax's fractional schedules and Weighted's
+   damage-weighted loads. *)
 
 let vertex_incidence_sums g weights =
   if Array.length weights <> Graph.m g then
@@ -26,21 +20,6 @@ let vertex_incidence_sums g weights =
       Array.fold_left
         (fun acc id -> Q.add acc weights.(id))
         Q.zero (Graph.incident_edges g v))
-
-let hit_table g tp =
-  let hit = Array.make (Graph.n g) Q.zero in
-  List.iter
-    (fun (t, p) ->
-      List.iter (fun v -> hit.(v) <- Q.add hit.(v) p) (Tuple.vertices g t))
-    tp;
-  hit
-
-let load_table g vp =
-  let load = Array.make (Graph.n g) Q.zero in
-  Array.iter
-    (fun d -> Finite.iter d ~f:(fun v p -> load.(v) <- Q.add load.(v) p))
-    vp;
-  load
 
 let weighted_loads model ~weights ~vp =
   let g = Model.graph model in
@@ -53,47 +32,3 @@ let weighted_loads model ~weights ~vp =
           load.(v) <- Q.add load.(v) (Q.mul weights.(i) p)))
     vp;
   load
-
-let edge_load_table g load =
-  Array.init (Graph.m g) (fun id ->
-      let e = Graph.edge g id in
-      Q.add load.(e.Graph.u) load.(e.Graph.v))
-
-let make model ~vp ~tp =
-  Obs.incr c_builds;
-  let g = Model.graph model in
-  let load = load_table g vp in
-  { model; hit = hit_table g tp; load; edge_load = edge_load_table g load }
-
-let model k = k.model
-let hit_prob k v = k.hit.(v)
-let expected_load k v = k.load.(v)
-let expected_load_edge k id = k.edge_load.(id)
-
-let expected_load_tuple k t =
-  let g = Model.graph k.model in
-  List.fold_left (fun acc v -> Q.add acc k.load.(v)) Q.zero (Tuple.vertices g t)
-
-let hit_table_copy k = Array.copy k.hit
-let load_table_copy k = Array.copy k.load
-let edge_load_table_copy k = Array.copy k.edge_load
-
-let replace_vp k ~old_d ~new_d =
-  Obs.incr c_vp_patches;
-  Obs.add c_cow_cells (Array.length k.load + Array.length k.edge_load);
-  let g = Model.graph k.model in
-  let load = Array.copy k.load in
-  let edge_load = Array.copy k.edge_load in
-  let shift v delta =
-    load.(v) <- Q.add load.(v) delta;
-    Array.iter
-      (fun id -> edge_load.(id) <- Q.add edge_load.(id) delta)
-      (Graph.incident_edges g v)
-  in
-  Finite.iter old_d ~f:(fun v p -> shift v (Q.neg p));
-  Finite.iter new_d ~f:(fun v p -> shift v p);
-  { k with load; edge_load }
-
-let replace_tp k ~tp =
-  Obs.incr c_tp_patches;
-  { k with hit = hit_table (Model.graph k.model) tp }

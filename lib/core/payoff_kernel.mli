@@ -30,7 +30,10 @@
 open Netgraph
 module Q = Exact.Q
 
-type t
+(** The tuple-game application of the generic engine's kernel
+    ({!Game_engine.Make}): same tables, same incremental patches, for
+    any {!Game.S} instance. *)
+type t = Tuple_instance.Engine.Kernel.t
 
 (** Build the tables from scratch: O(n + m + Σ_i |supp vp_i| · deg +
     Σ_t |V(t)|).  The inputs are assumed validated (by

@@ -1,156 +1,11 @@
-open Netgraph
+(* Mixed/pure configurations of the tuple game: the generic engine's
+   Profile pinned to Tuple_game, plus the tuple-specific conveniences
+   the historical interface exposed. *)
+
 module Q = Exact.Q
-module Finite = Dist.Finite
 
-type pure = {
-  vp_choices : Graph.vertex array;
-  tp_choice : Tuple.t;
-}
+include Tuple_instance.Engine.Profile
 
-type mixed = {
-  model : Model.t;
-  vp : Finite.t array;
-  tp : (Tuple.t * Q.t) list;  (* positive probs, canonical tuples, sums to 1 *)
-  kernel : Payoff_kernel.t;  (* exact hit/load tables, kept in sync *)
-}
-
-let check_vertex g v =
-  if v < 0 || v >= Graph.n g then
-    invalid_arg (Printf.sprintf "Profile: vertex %d out of range" v)
-
-let check_tuple model t =
-  if Tuple.size t <> Model.k model then
-    invalid_arg
-      (Printf.sprintf "Profile: tuple size %d, expected k = %d" (Tuple.size t)
-         (Model.k model))
-
-let make_pure model ~vp_choices ~tp_choice =
-  if List.length vp_choices <> Model.nu model then
-    invalid_arg "Profile.make_pure: wrong number of vertex-player choices";
-  List.iter (check_vertex (Model.graph model)) vp_choices;
-  check_tuple model tp_choice;
-  { vp_choices = Array.of_list vp_choices; tp_choice }
-
-let check_tp model tp =
-  if tp = [] then invalid_arg "Profile.make_mixed: empty tuple-player strategy";
-  let seen = Hashtbl.create 16 in
-  List.iter
-    (fun (t, p) ->
-      check_tuple model t;
-      if Q.sign p <= 0 then
-        invalid_arg "Profile.make_mixed: non-positive tuple probability";
-      if Hashtbl.mem seen (Tuple.to_list t) then
-        invalid_arg "Profile.make_mixed: duplicate tuple in support";
-      Hashtbl.add seen (Tuple.to_list t) ())
-    tp;
-  let total = Q.sum (List.map snd tp) in
-  if not (Q.equal total Q.one) then
-    invalid_arg
-      (Printf.sprintf "Profile.make_mixed: tuple probabilities sum to %s"
-         (Q.to_string total))
-
-let make_mixed model ~vp ~tp =
-  if List.length vp <> Model.nu model then
-    invalid_arg "Profile.make_mixed: wrong number of vertex-player strategies";
-  List.iter
-    (fun d -> List.iter (check_vertex (Model.graph model)) (Finite.support d))
-    vp;
-  check_tp model tp;
-  let vp = Array.of_list vp in
-  { model; vp; tp; kernel = Payoff_kernel.make model ~vp ~tp }
-
-let of_pure model { vp_choices; tp_choice } =
-  make_mixed model
-    ~vp:(Array.to_list (Array.map Finite.point vp_choices))
-    ~tp:[ (tp_choice, Q.one) ]
-
-let uniform model ~vp_support ~tp_support =
-  let vp_dist = Finite.uniform vp_support in
-  let count = List.length tp_support in
-  if count = 0 then invalid_arg "Profile.uniform: empty tuple support";
-  let p = Q.make 1 count in
-  make_mixed model
-    ~vp:(List.init (Model.nu model) (fun _ -> vp_dist))
-    ~tp:(List.map (fun t -> (t, p)) tp_support)
-
-let model m = m.model
-let kernel m = m.kernel
-
-let vp_strategy m i =
-  if i < 0 || i >= Array.length m.vp then
-    invalid_arg "Profile.vp_strategy: player index out of range";
-  m.vp.(i)
-
-let vp_strategies m = Array.copy m.vp
-let tp_strategy m = m.tp
-let vp_support m i = Finite.support (vp_strategy m i)
-
-let vp_support_union m =
-  Array.to_list m.vp |> List.concat_map Finite.support |> List.sort_uniq compare
-
-let tp_support m = List.map fst m.tp
+let model = instance
+let expected_load_tuple = expected_load_strategy
 let tp_support_edges m = Tuple.edge_union (tp_support m)
-
-let tuples_hitting m v =
-  let g = Model.graph m.model in
-  List.filter (fun (t, _) -> Tuple.covers g t v) m.tp
-
-(* The naive recomputations below re-scan the relevant support on every
-   query; they are the correctness oracle for the kernel tables (the
-   property tests assert exact Q-equality between the two paths).  The
-   counter pairs with kernel.builds/kernel.*_patches: their ratio in a
-   sweep's metrics shows how much rescanning the kernel tables avoid. *)
-
-let c_naive_rescans = Obs.counter "kernel.naive_rescans"
-
-let naive_hit_prob m v =
-  Obs.incr c_naive_rescans;
-  Q.sum (List.map snd (tuples_hitting m v))
-
-let naive_expected_load m v =
-  Obs.incr c_naive_rescans;
-  Array.fold_left (fun acc d -> Q.add acc (Finite.prob d v)) Q.zero m.vp
-
-let hit_prob ?(naive = false) m v =
-  if naive then naive_hit_prob m v else Payoff_kernel.hit_prob m.kernel v
-
-let expected_load ?(naive = false) m v =
-  if naive then naive_expected_load m v
-  else Payoff_kernel.expected_load m.kernel v
-
-let expected_load_edge ?(naive = false) m id =
-  if naive then
-    let e = Graph.edge (Model.graph m.model) id in
-    Q.add (naive_expected_load m e.Graph.u) (naive_expected_load m e.Graph.v)
-  else Payoff_kernel.expected_load_edge m.kernel id
-
-let expected_load_tuple ?(naive = false) m t =
-  if naive then
-    let g = Model.graph m.model in
-    Q.sum (List.map (naive_expected_load m) (Tuple.vertices g t))
-  else Payoff_kernel.expected_load_tuple m.kernel t
-
-let replace_vp m i d =
-  List.iter (check_vertex (Model.graph m.model)) (Finite.support d);
-  if i < 0 || i >= Array.length m.vp then
-    invalid_arg "Profile.replace_vp: player index out of range";
-  let kernel = Payoff_kernel.replace_vp m.kernel ~old_d:m.vp.(i) ~new_d:d in
-  let vp = Array.copy m.vp in
-  vp.(i) <- d;
-  { m with vp; kernel }
-
-let replace_tp m tp =
-  check_tp m.model tp;
-  { m with tp; kernel = Payoff_kernel.replace_tp m.kernel ~tp }
-
-let is_pure m =
-  Array.for_all Finite.is_pure m.vp && List.length m.tp = 1
-
-let pp fmt m =
-  Format.fprintf fmt "@[<v 2>profile %a:@," Model.pp m.model;
-  Array.iteri (fun i d -> Format.fprintf fmt "vp%d: %a@," i Finite.pp d) m.vp;
-  Format.fprintf fmt "tp:";
-  List.iter
-    (fun (t, p) -> Format.fprintf fmt "@ %a:%s" Tuple.pp t (Q.to_string p))
-    m.tp;
-  Format.fprintf fmt "@]"

@@ -8,12 +8,15 @@
 open Netgraph
 module Q = Exact.Q
 
-type pure = {
+type pure = Tuple_instance.Engine.Profile.pure = {
   vp_choices : Graph.vertex array;  (** one vertex per vertex player *)
   tp_choice : Tuple.t;
 }
 
-type mixed
+(** Equal to the engine's type so the generic simulation loops
+    ([Sim.Game_sim.Make]) and this wrapper agree on one profile type;
+    treat it as abstract. *)
+type mixed = Tuple_instance.Engine.Profile.mixed
 
 (** [make_pure model ~vp_choices ~tp_choice] validates arity, vertex range
     and tuple size ([= k]). @raise Invalid_argument otherwise. *)

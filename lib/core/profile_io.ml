@@ -1,134 +1,6 @@
-module Q = Exact.Q
+(* Profile (de)serialization: the engine's Io pinned to the tuple game.
+   Tuple profiles keep the original "profile v1" format bit-for-bit;
+   the reader also accepts the tagged "profile v2" header (rejecting
+   tags of other games). *)
 
-(* Q's own string format ("num/den", "/den" omitted for integers) at any
-   magnitude: probabilities with denominators beyond the native range
-   (deep mixes, long-horizon averages) serialize losslessly. *)
-let q_to_string = Q.to_string
-
-let q_of_string s =
-  match Q.of_string_opt s with
-  | Some q -> q
-  | None -> invalid_arg ("Profile_io: bad rational " ^ s)
-
-let to_string profile =
-  let model = Profile.model profile in
-  let buf = Buffer.create 256 in
-  Buffer.add_string buf "# defender mixed configuration\nprofile v1\n";
-  Buffer.add_string buf
-    (Printf.sprintf "nu %d k %d\n" (Model.nu model) (Model.k model));
-  for i = 0 to Model.nu model - 1 do
-    Buffer.add_string buf (Printf.sprintf "vp %d" i);
-    let d = Profile.vp_strategy profile i in
-    List.iter
-      (fun v ->
-        Buffer.add_string buf
-          (Printf.sprintf " %d:%s" v (q_to_string (Dist.Finite.prob d v))))
-      (Dist.Finite.support d);
-    Buffer.add_char buf '\n'
-  done;
-  Buffer.add_string buf "tp";
-  List.iter
-    (fun (t, p) ->
-      Buffer.add_string buf
-        (Printf.sprintf " %s:%s"
-           (String.concat "," (List.map string_of_int (Tuple.to_list t)))
-           (q_to_string p)))
-    (Profile.tp_strategy profile);
-  Buffer.add_char buf '\n';
-  Buffer.contents buf
-
-let of_string model text =
-  let lines =
-    String.split_on_char '\n' text
-    |> List.map String.trim
-    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
-  in
-  let split_pair token =
-    match String.rindex_opt token ':' with
-    | Some i ->
-        ( String.sub token 0 i,
-          q_of_string (String.sub token (i + 1) (String.length token - i - 1)) )
-    | None -> invalid_arg ("Profile_io: missing probability in " ^ token)
-  in
-  match lines with
-  | header :: sizes :: rest ->
-      if header <> "profile v1" then invalid_arg "Profile_io: bad header";
-      let nu, k =
-        match String.split_on_char ' ' sizes with
-        | [ "nu"; nu; "k"; k ] -> (
-            match (int_of_string_opt nu, int_of_string_opt k) with
-            | Some nu, Some k -> (nu, k)
-            | _ -> invalid_arg "Profile_io: bad sizes line")
-        | _ -> invalid_arg "Profile_io: bad sizes line"
-      in
-      if nu <> Model.nu model || k <> Model.k model then
-        invalid_arg "Profile_io: profile does not match the model (nu or k)";
-      let vp = Array.make nu None in
-      let tp = ref None in
-      List.iter
-        (fun line ->
-          match String.split_on_char ' ' line with
-          | "vp" :: index :: tokens ->
-              let i =
-                match int_of_string_opt index with
-                | Some i when i >= 0 && i < nu -> i
-                | _ -> invalid_arg "Profile_io: bad vp index"
-              in
-              let pairs =
-                List.map
-                  (fun token ->
-                    let vertex, prob = split_pair token in
-                    match int_of_string_opt vertex with
-                    | Some v -> (v, prob)
-                    | None -> invalid_arg ("Profile_io: bad vertex " ^ vertex))
-                  tokens
-              in
-              vp.(i) <- Some (Dist.Finite.make pairs)
-          | "tp" :: tokens ->
-              let g = Model.graph model in
-              let entries =
-                List.map
-                  (fun token ->
-                    let ids, prob = split_pair token in
-                    let edge_ids =
-                      String.split_on_char ',' ids
-                      |> List.map (fun s ->
-                             match int_of_string_opt s with
-                             | Some id -> id
-                             | None -> invalid_arg ("Profile_io: bad edge id " ^ s))
-                    in
-                    (Tuple.of_list g edge_ids, prob))
-                  tokens
-              in
-              tp := Some entries
-          | _ -> invalid_arg ("Profile_io: unrecognized line: " ^ line))
-        rest;
-      let vp =
-        Array.to_list
-          (Array.mapi
-             (fun i d ->
-               match d with
-               | Some d -> d
-               | None ->
-                   invalid_arg
-                     (Printf.sprintf "Profile_io: missing strategy for vp %d" i))
-             vp)
-      in
-      let tp =
-        match !tp with
-        | Some entries -> entries
-        | None -> invalid_arg "Profile_io: missing tp line"
-      in
-      Profile.make_mixed model ~vp ~tp
-  | _ -> invalid_arg "Profile_io: truncated input"
-
-let save file profile =
-  let oc = open_out file in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
-      output_string oc (to_string profile))
-
-let load model file =
-  let ic = open_in file in
-  Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
-      let len = in_channel_length ic in
-      of_string model (really_input_string ic len))
+include Tuple_instance.Engine.Io

@@ -1,28 +1,8 @@
+(* Exact individual profits: the engine's Profit pinned to the tuple
+   game, with the defender's payoff under its historical name. *)
+
 module Q = Exact.Q
 
-let pure_vp model profile i =
-  let g = Model.graph model in
-  if i < 0 || i >= Array.length profile.Profile.vp_choices then
-    invalid_arg "Profit.pure_vp: player index out of range";
-  if Tuple.covers g profile.Profile.tp_choice profile.Profile.vp_choices.(i) then 0
-  else 1
+include Tuple_instance.Engine.Profit
 
-let pure_tp model profile =
-  let g = Model.graph model in
-  Array.fold_left
-    (fun acc v -> if Tuple.covers g profile.Profile.tp_choice v then acc + 1 else acc)
-    0 profile.Profile.vp_choices
-
-let vp_payoff_of_vertex ?naive m v = Q.sub Q.one (Profile.hit_prob ?naive m v)
-
-let tp_payoff_of_tuple ?naive m t = Profile.expected_load_tuple ?naive m t
-
-let expected_vp ?naive m i =
-  Dist.Finite.expect (Profile.vp_strategy m i) ~f:(fun v ->
-      vp_payoff_of_vertex ?naive m v)
-
-let expected_tp ?naive m =
-  Q.sum
-    (List.map
-       (fun (t, p) -> Q.mul p (Profile.expected_load_tuple ?naive m t))
-       (Profile.tp_strategy m))
+let tp_payoff_of_tuple = tp_payoff_of_strategy

@@ -1,5 +1,11 @@
 open Netgraph
 
+(* The definitional checks (is_pure_ne, exists_brute_force) come from
+   the generic engine; the polynomial Theorem 3.1 route below is
+   tuple-specific (edge covers are a tuple-game notion). *)
+
+include Tuple_instance.Engine.Pure
+
 let exists model =
   Matching.Edge_cover.exists_of_size (Model.graph model) (Model.k model)
 
@@ -13,51 +19,5 @@ let construct model =
         (Profile.make_pure model
            ~vp_choices:(List.init (Model.nu model) (fun _ -> 0))
            ~tp_choice)
-
-let check_limit model limit =
-  match Model.tuple_space_size model with
-  | Some c when c <= limit -> ()
-  | _ ->
-      invalid_arg
-        "Pure_nash: tuple space too large for brute-force inspection"
-
-let is_pure_ne ?(limit = 2_000_000) model profile =
-  check_limit model limit;
-  let g = Model.graph model in
-  let t = profile.Profile.tp_choice in
-  let all_covered =
-    List.length (Tuple.vertices g t) = Graph.n g
-  in
-  (* Vertex players: a caught player improves by moving to any uncovered
-     vertex; an escaped player is already at its maximum profit 1. *)
-  let vp_ok =
-    Array.for_all
-      (fun v -> all_covered || not (Tuple.covers g t v))
-      profile.Profile.vp_choices
-  in
-  vp_ok
-  &&
-  (* Tuple player: compare with the best achievable coverage count. *)
-  let catch choice =
-    Array.fold_left
-      (fun acc v -> if Tuple.covers g choice v then acc + 1 else acc)
-      0 profile.Profile.vp_choices
-  in
-  let current = catch t in
-  let best =
-    Tuple.fold_enumerate g ~k:(Model.k model) ~init:0 ~f:(fun acc t' ->
-        max acc (catch t'))
-  in
-  current = best
-
-let exists_brute_force ?(limit = 2_000_000) model =
-  check_limit model limit;
-  let g = Model.graph model in
-  let n = Graph.n g in
-  (* Symmetry reduction (see mli): a pure NE exists iff some tuple covers
-     every vertex; the search below is the definitional enumeration over
-     defender choices with the attacker side resolved analytically. *)
-  Tuple.fold_enumerate g ~k:(Model.k model) ~init:false ~f:(fun acc t ->
-      acc || List.length (Tuple.vertices g t) = n)
 
 let cor33_applies model = Graph.n (Model.graph model) >= (2 * Model.k model) + 1

@@ -1,0 +1,4 @@
+(* The exact engine applied to the connected-subgraph defender; the one
+   application point the experiment family S and the CLI share. *)
+
+module Engine = Game_engine.Make (Subgraph_game)

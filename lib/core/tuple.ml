@@ -65,13 +65,9 @@ let fold_enumerate g ~k ~init ~f =
 let enumerate ?(limit = 2_000_000) g ~k =
   let m = Graph.m g in
   let count =
-    let rec go i acc =
-      if i > k then Some acc
-      else
-        let next = acc * (m - k + i) in
-        if next / (m - k + i) <> acc then None else go (i + 1) (next / i)
-    in
-    go 1 1
+    match Exact.Q.to_int_exn (Exact.Q.binomial m k) with
+    | c -> Some c
+    | exception Exact.Q.Overflow -> None
   in
   (match count with
   | Some c when c <= limit -> ()

@@ -1,0 +1,151 @@
+(* The paper's game Π_k(G) as a GAME instance: ν vertex players and one
+   defender choosing a k-edge tuple.  This module is instance #1 of the
+   Game.S signature; the pre-functor modules (Payoff_kernel, Profile,
+   Best_response, ...) are wrappers over Game_engine.Make applied to it
+   (tuple_instance.ml) and their observable behavior — fold orders,
+   tie-breaks, error strings — must not drift. *)
+
+open Netgraph
+module Q = Exact.Q
+
+let name = "tuple"
+
+type instance = Model.t
+
+module Strategy = struct
+  type t = Tuple.t
+
+  let compare = Tuple.compare
+  let equal = Tuple.equal
+  let pp = Tuple.pp
+  let to_ints = Tuple.to_list
+end
+
+let graph = Model.graph
+let nu = Model.nu
+let params inst = [ ("nu", Model.nu inst); ("k", Model.k inst) ]
+let pp_instance = Model.pp
+
+let validate inst t =
+  if Tuple.size t <> Model.k inst then
+    invalid_arg
+      (Printf.sprintf "Profile: tuple size %d, expected k = %d" (Tuple.size t)
+         (Model.k inst))
+
+let strategy_of_ints inst ids = Tuple.of_list (Model.graph inst) ids
+let covered inst t = Tuple.vertices (Model.graph inst) t
+let covers inst t v = Tuple.covers (Model.graph inst) t v
+
+let fold_strategies inst ~init ~f =
+  Tuple.fold_enumerate (Model.graph inst) ~k:(Model.k inst) ~init ~f
+
+let space_size inst = Model.tuple_space_size_exact inst
+
+let space_size_within inst ~limit =
+  match Model.tuple_space_size inst with
+  | Some c when c <= limit -> Some c
+  | Some _ | None -> None
+
+(* Certificate bound: no k-tuple can cover more expected load than the
+   sum of the k largest edge loads. *)
+let value_upper_bound inst ~load:_ ~edge_load =
+  let g = Model.graph inst in
+  let k = Model.k inst in
+  let loads =
+    List.init (Graph.m g) edge_load |> List.sort (fun a b -> Q.compare b a)
+  in
+  let rec take i acc = function
+    | [] -> acc
+    | _ when i = k -> acc
+    | l :: rest -> take (i + 1) (Q.add acc l) rest
+  in
+  take 0 Q.zero loads
+
+(* Greedy max-coverage response to integer vertex loads: k passes
+   picking the edge with the best marginal covered load; shared by the
+   sim loops (Fictitious keeps its historical error prefix via [err]).
+   [coverage_tie_break] additionally prefers edges covering more fresh
+   vertices on equal gain — the tie-break best-response dynamics need. *)
+let greedy_edges ?(err = "Tuple_game.greedy_response")
+    ?(coverage_tie_break = false) g k (load : int array) =
+  let m = Graph.m g in
+  if k < 1 || k > m then
+    invalid_arg (Printf.sprintf "%s: k = %d outside [1, m = %d]" err k m);
+  let chosen = Array.make m false in
+  let covered = Array.make (Graph.n g) false in
+  let picks = ref [] in
+  for _ = 1 to k do
+    let best = ref (-1) and best_gain = ref (-1, -1) in
+    for id = 0 to m - 1 do
+      if not chosen.(id) then begin
+        let e = Graph.edge g id in
+        let catch_gain =
+          (if covered.(e.Graph.u) then 0 else load.(e.Graph.u))
+          + if covered.(e.Graph.v) then 0 else load.(e.Graph.v)
+        in
+        let cover_gain =
+          if not coverage_tie_break then 0
+          else
+            (if covered.(e.Graph.u) then 0 else 1)
+            + if covered.(e.Graph.v) then 0 else 1
+        in
+        if (catch_gain, cover_gain) > !best_gain then begin
+          best_gain := (catch_gain, cover_gain);
+          best := id
+        end
+      end
+    done;
+    (* Guard: if no pick beat the sentinel (possible when a caller hands
+       in degenerate, e.g. negative, loads), fall back to the lowest-id
+       remaining edge instead of indexing with -1.  The k <= m guard
+       above ensures a remaining edge exists. *)
+    let pick =
+      if !best >= 0 then !best
+      else begin
+        let id = ref 0 in
+        while chosen.(!id) do incr id done;
+        !id
+      end
+    in
+    chosen.(pick) <- true;
+    let e = Graph.edge g pick in
+    covered.(e.Graph.u) <- true;
+    covered.(e.Graph.v) <- true;
+    picks := pick :: !picks
+  done;
+  Tuple.of_list g !picks
+
+let greedy_response inst ~load =
+  greedy_edges (Model.graph inst) (Model.k inst) load
+
+let greedy_coverage_response inst ~load =
+  greedy_edges ~coverage_tie_break:true (Model.graph inst) (Model.k inst) load
+
+(* The workload greedy policy: the k globally hottest edges by endpoint
+   attack counts (not marginal gain — historical policy behavior). *)
+let greedy_by_counts inst ~counts =
+  let g = Model.graph inst in
+  let score id =
+    let e = Graph.edge g id in
+    counts.(e.Graph.u) + counts.(e.Graph.v)
+  in
+  let ids = Array.init (Graph.m g) Fun.id in
+  Array.sort (fun a b -> compare (score b) (score a)) ids;
+  Tuple.of_list g (Array.to_list (Array.sub ids 0 (Model.k inst)))
+
+let random_strategy inst rng =
+  let g = Model.graph inst in
+  let ids = Array.init (Graph.m g) Fun.id in
+  let sample =
+    Prng.Rng.sample_without_replacement rng ~count:(Model.k inst) ids
+  in
+  Tuple.of_list g (Array.to_list sample)
+
+let round_robin inst ~round =
+  let g = Model.graph inst in
+  let m = Graph.m g and k = Model.k inst in
+  let start = round * k mod m in
+  Tuple.of_list g (List.init k (fun i -> (start + i) mod m))
+
+let scan_slots inst = Graph.m (Model.graph inst)
+let scan_slot_ids _inst t = Tuple.to_list t

@@ -1,0 +1,8 @@
+(* The single application point of the exact engine to the paper's tuple
+   game.  Applicative functor semantics make every other mention of
+   [Game_engine.Make (Tuple_game)] — notably the one inside
+   [Sim.Game_sim.Make] — share types with this one, so the wrapper
+   modules (Payoff_kernel, Profile, ...) and the simulation loops all
+   agree on one [Profile.mixed]. *)
+
+module Engine = Game_engine.Make (Tuple_game)

@@ -1,74 +1,4 @@
-module Q = Exact.Q
+(* Definitional NE verification: entirely generic — the engine's Verify
+   pinned to the tuple game. *)
 
-type mode = Exhaustive of int | Certificate
-
-type verdict = Confirmed | Refuted of string | Unknown of string
-
-let verdict_is_confirmed = function Confirmed -> true | Refuted _ | Unknown _ -> false
-
-let verdict_to_string = function
-  | Confirmed -> "confirmed"
-  | Refuted why -> "refuted: " ^ why
-  | Unknown why -> "unknown: " ^ why
-
-let vp_side ?naive m =
-  let best = Best_response.vp_best_value ?naive m in
-  let nu = Model.nu (Profile.model m) in
-  let rec check i =
-    if i = nu then Confirmed
-    else
-      let offending =
-        List.find_opt
-          (fun v -> Q.( < ) (Profit.vp_payoff_of_vertex ?naive m v) best)
-          (Profile.vp_support m i)
-      in
-      match offending with
-      | Some v ->
-          Refuted
-            (Printf.sprintf
-               "vertex player %d puts weight on vertex %d with payoff %s < best %s"
-               i v
-               (Q.to_string (Profit.vp_payoff_of_vertex ?naive m v))
-               (Q.to_string best))
-      | None -> check (i + 1)
-  in
-  check 0
-
-let support_load_range ?naive m =
-  let loads =
-    List.map
-      (fun (t, _) -> Profile.expected_load_tuple ?naive m t)
-      (Profile.tp_strategy m)
-  in
-  (Q.min_list loads, Q.max_list loads)
-
-let tp_side ?naive mode m =
-  let low, high = support_load_range ?naive m in
-  if Q.( < ) low high then
-    Refuted
-      (Printf.sprintf
-         "defender support mixes tuples of different value (%s vs %s)"
-         (Q.to_string low) (Q.to_string high))
-  else
-    match mode with
-    | Exhaustive limit ->
-        let best = Best_response.tp_best_value_exhaustive ~limit ?naive m in
-        if Q.( < ) low best then
-          Refuted
-            (Printf.sprintf "defender can deviate to a tuple of value %s > %s"
-               (Q.to_string best) (Q.to_string low))
-        else Confirmed
-    | Certificate ->
-        let bound = Best_response.tp_upper_bound ?naive m in
-        if Q.equal low bound then Confirmed
-        else
-          Unknown
-            (Printf.sprintf
-               "support value %s below top-k edge-load bound %s; certificate \
-                inconclusive"
-               (Q.to_string low) (Q.to_string bound))
-
-let mixed_ne ?naive mode m =
-  match vp_side ?naive m with
-  | Confirmed -> tp_side ?naive mode m
-  | (Refuted _ | Unknown _) as v -> v
+include Tuple_instance.Engine.Verify

@@ -7,14 +7,14 @@
     defender attains [max_{t ∈ E^k} m_s(t)].  The defender side needs the
     max over C(m,k) tuples; choose the mode accordingly. *)
 
-type mode =
+type mode = Tuple_instance.Engine.Verify.mode =
   | Exhaustive of int
       (** enumerate all tuples; the int caps the enumeration size *)
   | Certificate
       (** compare against the top-k edge-load upper bound; sound but
           incomplete (can answer [Unknown]) *)
 
-type verdict =
+type verdict = Tuple_instance.Engine.Verify.verdict =
   | Confirmed
   | Refuted of string  (** human-readable witness of a profitable deviation *)
   | Unknown of string  (** certificate failed to decide *)

@@ -1,0 +1,101 @@
+(* Connected induced-subgraph enumeration (the connected-subgraph
+   defender's strategy space).  The enumerator is the classic ESU walk:
+   each subset is discovered exactly once, anchored at its minimum
+   vertex, by growing an extension frontier restricted to vertices
+   larger than the anchor that have not been touched on the current
+   branch. *)
+
+let check_vertex g v =
+  if v < 0 || v >= Graph.n g then
+    invalid_arg (Printf.sprintf "Induced: vertex %d out of range" v)
+
+let is_connected_subset g vs =
+  List.iter (check_vertex g) vs;
+  match List.sort_uniq compare vs with
+  | [] -> false
+  | start :: _ as vs ->
+      let in_set = Array.make (Graph.n g) false in
+      List.iter (fun v -> in_set.(v) <- true) vs;
+      let seen = Array.make (Graph.n g) false in
+      let rec walk v =
+        if not seen.(v) then begin
+          seen.(v) <- true;
+          Array.iter (fun u -> if in_set.(u) then walk u) (Graph.neighbors g v)
+        end
+      in
+      walk start;
+      List.for_all (fun v -> seen.(v)) vs
+
+exception Stop
+
+let fold_connected_subsets g ~size ~init ~f =
+  let n = Graph.n g in
+  if size < 1 || size > n then
+    invalid_arg
+      (Printf.sprintf "Induced.fold_connected_subsets: size %d outside [1, %d]"
+         size n);
+  let acc = ref init in
+  let sub = Array.make size 0 in
+  (* [seen.(u)] — u is the anchor, in the subset, or already on the
+     extension frontier of the current branch (so it must not re-enter). *)
+  let seen = Array.make n false in
+  for anchor = 0 to n - 1 do
+    seen.(anchor) <- true;
+    sub.(0) <- anchor;
+    (* Candidates above the anchor adjacent to some subset vertex. *)
+    let admit u = u > anchor && not seen.(u) in
+    let rec extend depth ext =
+      if depth = size then
+        acc := f !acc (List.sort compare (Array.to_list sub))
+      else
+        (* Consume the frontier left to right: recursing on [w] sees the
+           remaining frontier plus w's fresh neighbours; siblings to the
+           right never re-admit w (it stays marked), which is what makes
+           each subset come out exactly once. *)
+        let rec consume = function
+          | [] -> ()
+          | w :: rest ->
+              sub.(depth) <- w;
+              let added =
+                Array.fold_left
+                  (fun fresh u ->
+                    if admit u then begin
+                      seen.(u) <- true;
+                      u :: fresh
+                    end
+                    else fresh)
+                  [] (Graph.neighbors g w)
+              in
+              let added = List.rev added in
+              extend (depth + 1) (rest @ added);
+              List.iter (fun u -> seen.(u) <- false) added;
+              consume rest
+        in
+        consume ext
+    in
+    let frontier =
+      Array.fold_left
+        (fun fr u ->
+          if admit u then begin
+            seen.(u) <- true;
+            u :: fr
+          end
+          else fr)
+        [] (Graph.neighbors g anchor)
+    in
+    let frontier = List.rev frontier in
+    extend 1 frontier;
+    List.iter (fun u -> seen.(u) <- false) frontier;
+    seen.(anchor) <- false
+  done;
+  !acc
+
+let count_connected_subsets g ~size ~limit =
+  let count = ref 0 in
+  match
+    fold_connected_subsets g ~size ~init:() ~f:(fun () _ ->
+        incr count;
+        if !count > limit then raise Stop)
+  with
+  | () -> Some !count
+  | exception Stop -> None

@@ -1,0 +1,28 @@
+(** Connected induced-subgraph enumeration: every size-[s] vertex subset
+    whose induced subgraph is connected, each exactly once, in a
+    deterministic order.  This is the defender strategy space of the
+    connected-subgraph game (Akrida et al.), the way k-edge subsets are
+    the tuple defender's. *)
+
+open Graph
+
+(** [is_connected_subset g vs] — does the subgraph induced by [vs]
+    connect all of [vs]?  Duplicates are ignored; the empty set is not
+    connected.  @raise Invalid_argument on an out-of-range vertex. *)
+val is_connected_subset : Graph.t -> vertex list -> bool
+
+(** [fold_connected_subsets g ~size ~init ~f] folds [f] over every
+    vertex subset of cardinality [size] that induces a connected
+    subgraph, exactly once each (ESU-style enumeration anchored at each
+    subset's minimum vertex).  Subsets are passed sorted ascending; the
+    overall order is deterministic but not lexicographic.
+    @raise Invalid_argument if [size] is outside [1, n]. *)
+val fold_connected_subsets :
+  Graph.t -> size:int -> init:'a -> f:('a -> vertex list -> 'a) -> 'a
+
+(** [count_connected_subsets g ~size ~limit] is [Some c] when the number
+    of connected [size]-subsets is [c <= limit], [None] as soon as the
+    enumeration exceeds [limit] (the walk stops early, so probing a huge
+    space with a small limit is cheap).
+    @raise Invalid_argument if [size] is outside [1, n]. *)
+val count_connected_subsets : Graph.t -> size:int -> limit:int -> int option

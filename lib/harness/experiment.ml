@@ -58,6 +58,7 @@ type t = {
   claim : string;
   expected : string;
   tag : tag;
+  game : string;
   run : ctx -> unit;
 }
 
@@ -77,6 +78,7 @@ type result = {
   claim : string;
   expected : string;
   tag : tag;
+  game : string;
   verdict : verdict;
   checks_total : int;
   checks_failed : int;
@@ -140,6 +142,7 @@ let run ?(scale = Full) (t : t) =
     claim = t.claim;
     expected = t.expected;
     tag = t.tag;
+    game = t.game;
     verdict;
     checks_total = ctx.checks_total;
     checks_failed = ctx.checks_failed;
@@ -170,6 +173,7 @@ let crashed (t : t) ~reason ~wall =
     claim = t.claim;
     expected = t.expected;
     tag = t.tag;
+    game = t.game;
     verdict = Crashed;
     checks_total = 1;
     checks_failed = 1;
@@ -231,9 +235,11 @@ let metrics_to_json (m : metrics) =
 
 let result_to_json (r : result) =
   Json.Obj
-    ([
-       ("id", Json.String r.id);
-       ("tag", Json.String (tag_to_string r.tag));
+    ([ ("id", Json.String r.id); ("tag", Json.String (tag_to_string r.tag)) ]
+    @ (* The game tag is versioned into the artifact only for non-tuple
+         games, keeping historical tuple artifacts byte-identical. *)
+    (if r.game = "tuple" then [] else [ ("game", Json.String r.game) ])
+    @ [
        ("claim", Json.String r.claim);
        ("expected", Json.String r.expected);
        ("verdict", Json.String (verdict_to_string r.verdict));
@@ -378,6 +384,11 @@ let result_of_wire json =
         claim = as_string ~what:"claim" (field "claim");
         expected = as_string ~what:"expected" (field "expected");
         tag = tag_of_string (as_string ~what:"tag" (field "tag"));
+        game =
+          (* absent in pre-tag and all tuple-game artifacts *)
+          (match Json.member "game" json with
+          | Some v -> as_string ~what:"game" v
+          | None -> "tuple");
         verdict = verdict_of_string (as_string ~what:"verdict" (field "verdict"));
         checks_total = as_int ~what:"checks.total" (check_field "total");
         checks_failed = as_int ~what:"checks.failed" (check_field "failed");

@@ -78,6 +78,9 @@ type t = {
   claim : string;  (** the paper claim (or extension) being regenerated *)
   expected : string;  (** what outcome reproduces the claim *)
   tag : tag;
+  game : string;
+      (** which GAME instance the experiment exercises ("tuple",
+          "subgraph"); versioned into artifacts for non-tuple games *)
   run : ctx -> unit;
 }
 
@@ -108,6 +111,7 @@ type result = {
   claim : string;
   expected : string;
   tag : tag;
+  game : string;  (** defaults to ["tuple"] when absent from the wire *)
   verdict : verdict;
   checks_total : int;
   checks_failed : int;

@@ -189,6 +189,21 @@ let div a b = mul a (inv b)
 let mul_int q n = mul q (of_int n)
 let div_int q n = div q (of_int n)
 
+let binomial n k =
+  if n < 0 || k < 0 then invalid_arg "Q.binomial: negative argument";
+  if k > n then zero
+  else begin
+    (* Multiplicative form over the tower: after step i the accumulator
+       is C(n-k+i, i), an integer, so the division is always exact and
+       the result is the true count at any magnitude. *)
+    let k = if k > n - k then n - k else k in
+    let acc = ref one in
+    for i = 1 to k do
+      acc := div_int (mul_int !acc (n - k + i)) i
+    done;
+    !acc
+  end
+
 let sign = function
   | S { num; _ } -> compare num 0
   | B { bnum; _ } -> Bigint.sign bnum

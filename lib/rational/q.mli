@@ -77,6 +77,12 @@ val mul_int : t -> int -> t
 (** [div_int q n] is [q / n]. @raise Division_by_zero if [n = 0]. *)
 val div_int : t -> int -> t
 
+(** [binomial n k] is the exact binomial coefficient C(n, k) as an
+    integer rational, at any magnitude (the strategy-space counters use
+    it instead of wrap-detecting native products).  [0] when [k > n].
+    @raise Invalid_argument on negative arguments. *)
+val binomial : int -> int -> t
+
 val abs : t -> t
 
 (** [-1], [0] or [1]. *)

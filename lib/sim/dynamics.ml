@@ -1,173 +1,4 @@
-open Netgraph
-module Rng = Prng.Rng
+(* Pure best-response dynamics for the tuple game: the generic loop
+   pinned to Tuple_game. *)
 
-type result =
-  | Converged of { steps : int; profile : Defender.Profile.pure }
-  | Cycling of { steps : int }
-
-type step_record = {
-  step : int;
-  mover : [ `Attacker of int | `Defender ];
-  caught_after : int;
-}
-
-let is_converged = function Converged _ -> true | Cycling _ -> false
-
-let catch_count g choices tuple =
-  Array.fold_left
-    (fun acc v -> if Defender.Tuple.covers g tuple v then acc + 1 else acc)
-    0 choices
-
-let coverage g tuple = List.length (Defender.Tuple.vertices g tuple)
-
-(* Greedy max-coverage response to the current attacker positions, with
-   vertex coverage as the tie-break on zero-gain picks. *)
-let greedy_response g k choices =
-  let load = Array.make (Graph.n g) 0 in
-  Array.iter (fun v -> load.(v) <- load.(v) + 1) choices;
-  let chosen = Array.make (Graph.m g) false in
-  let covered = Array.make (Graph.n g) false in
-  let picks = ref [] in
-  for _ = 1 to k do
-    let best = ref (-1) and best_gain = ref (-1, -1) in
-    for id = 0 to Graph.m g - 1 do
-      if not chosen.(id) then begin
-        let e = Graph.edge g id in
-        let catch_gain =
-          (if covered.(e.Graph.u) then 0 else load.(e.Graph.u))
-          + if covered.(e.Graph.v) then 0 else load.(e.Graph.v)
-        in
-        let cover_gain =
-          (if covered.(e.Graph.u) then 0 else 1)
-          + if covered.(e.Graph.v) then 0 else 1
-        in
-        if (catch_gain, cover_gain) > !best_gain then begin
-          best_gain := (catch_gain, cover_gain);
-          best := id
-        end
-      end
-    done;
-    (* Same guard as Fictitious.greedy_response: never index with the -1
-       sentinel; fall back to the lowest-id remaining edge. *)
-    let pick =
-      if !best >= 0 then !best
-      else begin
-        let id = ref 0 in
-        while chosen.(!id) do incr id done;
-        !id
-      end
-    in
-    chosen.(pick) <- true;
-    let e = Graph.edge g pick in
-    covered.(e.Graph.u) <- true;
-    covered.(e.Graph.v) <- true;
-    picks := pick :: !picks
-  done;
-  Defender.Tuple.of_list g !picks
-
-(* Exact best response by enumeration, maximizing (catch, coverage)
-   lexicographically; [None] when the tuple space exceeds [limit]. *)
-let exact_best_response g k choices =
-  let better a b =
-    let ca = catch_count g choices a and cb = catch_count g choices b in
-    ca > cb || (ca = cb && coverage g a > coverage g b)
-  in
-  match
-    Defender.Tuple.fold_enumerate g ~k ~init:None ~f:(fun acc t ->
-        match acc with
-        | Some best when not (better t best) -> acc
-        | _ -> Some t)
-  with
-  | result -> result
-  | exception Invalid_argument _ -> None
-
-let enumeration_feasible g k limit =
-  let m = Graph.m g in
-  let rec go i acc =
-    if i > k then acc <= limit
-    else
-      let next = acc * (m - k + i) in
-      if next / (m - k + i) <> acc then false else go (i + 1) (next / i)
-  in
-  go 1 1
-
-let uncovered_vertices g tuple =
-  let covered = Array.make (Graph.n g) false in
-  List.iter (fun v -> covered.(v) <- true) (Defender.Tuple.vertices g tuple);
-  let out = ref [] in
-  for v = Graph.n g - 1 downto 0 do
-    if not covered.(v) then out := v :: !out
-  done;
-  Array.of_list !out
-
-let run ?record rng model ~max_steps =
-  let g = Defender.Model.graph model in
-  let nu = Defender.Model.nu model in
-  let k = Defender.Model.k model in
-  let limit = 200_000 in
-  let exact_ok = enumeration_feasible g k limit in
-  let choices = Array.init nu (fun _ -> Rng.int rng (Graph.n g)) in
-  let tuple = ref (greedy_response g k choices) in
-  let emit step mover =
-    match record with
-    | Some f -> f { step; mover; caught_after = catch_count g choices !tuple }
-    | None -> ()
-  in
-  let rec loop step =
-    if step >= max_steps then Cycling { steps = step }
-    else begin
-      let uncovered = uncovered_vertices g !tuple in
-      (* Dissatisfied attackers: caught while an escape vertex exists. *)
-      let unhappy_attackers =
-        if Array.length uncovered = 0 then []
-        else
-          List.filter
-            (fun i -> Defender.Tuple.covers g !tuple choices.(i))
-            (List.init nu Fun.id)
-      in
-      (* Defender's best response (exact when feasible); it moves only on a
-         strict payoff improvement, breaking ties among best responses
-         toward maximum coverage. *)
-      let current = catch_count g choices !tuple in
-      let candidate =
-        if exact_ok then exact_best_response g k choices
-        else Some (greedy_response g k choices)
-      in
-      let better_tuple =
-        match candidate with
-        | Some t when catch_count g choices t > current -> Some t
-        | _ -> None
-      in
-      match (unhappy_attackers, better_tuple) with
-      | [], None ->
-          Converged
-            {
-              steps = step;
-              profile =
-                Defender.Profile.make_pure model
-                  ~vp_choices:(Array.to_list choices)
-                  ~tp_choice:!tuple;
-            }
-      | attackers, defender_move ->
-          (* Pick a dissatisfied player uniformly; the defender counts as
-             one entrant in the lottery.  Drawing an index directly keeps
-             the PRNG stream identical to the historical list-to-array
-             lottery while skipping the per-step option array. *)
-          let na = List.length attackers in
-          let entrants =
-            na + match defender_move with Some _ -> 1 | None -> 0
-          in
-          let pick = Rng.int rng entrants in
-          if pick < na then begin
-            let i = List.nth attackers pick in
-            choices.(i) <- Rng.choose rng uncovered;
-            emit step (`Attacker i)
-          end
-          else begin
-            tuple := Option.get better_tuple;
-            emit step `Defender
-          end;
-          loop (step + 1)
-    end
-  in
-  loop 0
+include Sim_instance.Tuple.Dynamics

@@ -12,11 +12,11 @@
     pure NE and the dynamics churn forever, which experiment T2
     demonstrates by step-budget timeout. *)
 
-type result =
+type result = Sim_instance.Tuple.Dynamics.result =
   | Converged of { steps : int; profile : Defender.Profile.pure }
   | Cycling of { steps : int }  (** step budget exhausted without a pure NE *)
 
-type step_record = {
+type step_record = Sim_instance.Tuple.Dynamics.step_record = {
   step : int;
   mover : [ `Attacker of int | `Defender ];
   caught_after : int;

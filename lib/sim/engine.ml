@@ -1,99 +1,4 @@
-open Netgraph
-module Q = Exact.Q
-module Rng = Prng.Rng
+(* Monte-Carlo play of a mixed tuple-game profile: the generic loop
+   pinned to Tuple_game. *)
 
-type round = {
-  index : int;
-  choices : Graph.vertex array;
-  tuple : Defender.Tuple.t;
-  caught : int;
-}
-
-type stats = {
-  rounds : int;
-  total_caught : int;
-  mean_caught : float;
-  stddev_caught : float;
-  per_player_escapes : int array;
-}
-
-let escape_rate stats i =
-  float_of_int stats.per_player_escapes.(i) /. float_of_int stats.rounds
-
-let confidence95 stats =
-  1.96 *. stats.stddev_caught /. sqrt (float_of_int stats.rounds)
-
-let play ?record rng profile ~rounds =
-  if rounds < 1 then invalid_arg "Engine.play: rounds must be positive";
-  let model = Defender.Profile.model profile in
-  let g = Defender.Model.graph model in
-  let nu = Defender.Model.nu model in
-  let strategies =
-    Array.init nu (fun i -> Defender.Profile.vp_strategy profile i)
-  in
-  let tp = Array.of_list (Defender.Profile.tp_strategy profile) in
-  (* Kernel-style precomputation: one float weight and one boolean
-     coverage table per support tuple, so the per-round cost is O(ν)
-     array probes instead of O(ν·k) Tuple.covers scans. *)
-  let tp_probs = Array.map (fun (_, p) -> Q.to_float p) tp in
-  let cover =
-    Array.map
-      (fun (t, _) ->
-        let c = Array.make (Graph.n g) false in
-        List.iter (fun v -> c.(v) <- true) (Defender.Tuple.vertices g t);
-        c)
-      tp
-  in
-  let sample_tuple_index () =
-    let target = Rng.float rng in
-    let last = Array.length tp - 1 in
-    let rec scan j acc =
-      if j = last then j
-      else
-        let acc = acc +. tp_probs.(j) in
-        if target < acc then j else scan (j + 1) acc
-    in
-    scan 0 0.0
-  in
-  let per_player_escapes = Array.make nu 0 in
-  let total = ref 0 and total_sq = ref 0 in
-  let choices = Array.make nu 0 in
-  for index = 0 to rounds - 1 do
-    for i = 0 to nu - 1 do
-      choices.(i) <- Dist.Finite.sample rng strategies.(i)
-    done;
-    let j = sample_tuple_index () in
-    let covered = cover.(j) in
-    let caught = ref 0 in
-    for i = 0 to nu - 1 do
-      if covered.(choices.(i)) then incr caught
-      else per_player_escapes.(i) <- per_player_escapes.(i) + 1
-    done;
-    total := !total + !caught;
-    total_sq := !total_sq + (!caught * !caught);
-    match record with
-    | Some f ->
-        f { index; choices = Array.copy choices; tuple = fst tp.(j); caught = !caught }
-    | None -> ()
-  done;
-  let n = float_of_int rounds in
-  let mean = float_of_int !total /. n in
-  (* Sample (n−1) variance estimator; the population estimator understates
-     sigma and would silently tighten the T7 acceptance band. *)
-  let variance =
-    if rounds > 1 then
-      (float_of_int !total_sq -. (n *. mean *. mean)) /. (n -. 1.0)
-    else 0.0
-  in
-  {
-    rounds;
-    total_caught = !total;
-    mean_caught = mean;
-    stddev_caught = sqrt (max variance 0.0);
-    per_player_escapes;
-  }
-
-let agrees_with_analytic ?(z = 4.0) ?naive stats profile =
-  let exact = Q.to_float (Defender.Profit.expected_tp ?naive profile) in
-  let half_width = z *. stats.stddev_caught /. sqrt (float_of_int stats.rounds) in
-  abs_float (stats.mean_caught -. exact) <= half_width +. 1e-9
+include Sim_instance.Tuple.Engine

@@ -4,14 +4,14 @@
 
 open Netgraph
 
-type round = {
+type round = Sim_instance.Tuple.Engine.round = {
   index : int;
   choices : Graph.vertex array;  (** attacker positions this round *)
   tuple : Defender.Tuple.t;      (** defender's scan this round *)
   caught : int;                  (** attackers arrested this round *)
 }
 
-type stats = {
+type stats = Sim_instance.Tuple.Engine.stats = {
   rounds : int;
   total_caught : int;
   mean_caught : float;           (** empirical defender gain per round *)

@@ -1,173 +1,8 @@
-open Netgraph
-module Rng = Prng.Rng
+(* Fictitious play for the tuple game: the generic loop pinned to
+   Tuple_game, plus the standalone greedy responder the historical
+   interface exported (with its historical error prefix). *)
 
-type result = {
-  rounds : int;
-  avg_gain : float;
-  tail_avg_gain : float;
-  attack_frequency : float array;
-  scan_frequency : float array;
-  gain_series : float array;
-}
+include Sim_instance.Tuple.Fictitious
 
-let enumeration_feasible g k limit =
-  let m = Graph.m g in
-  let rec go i acc =
-    if i > k then acc <= limit
-    else
-      let next = acc * (m - k + i) in
-      if next / (m - k + i) <> acc then false else go (i + 1) (next / i)
-  in
-  go 1 1
-
-(* Defender best response to empirical attack counts: max total count
-   over covered vertices. *)
-let exact_response g k (load : int array) =
-  let value t =
-    List.fold_left (fun acc v -> acc + load.(v)) 0 (Defender.Tuple.vertices g t)
-  in
-  Defender.Tuple.fold_enumerate g ~k ~init:None ~f:(fun acc t ->
-      match acc with
-      | Some (_, best) when best >= value t -> acc
-      | _ -> Some (t, value t))
-  |> Option.get |> fst
-
-let greedy_response g k (load : int array) =
-  let m = Graph.m g in
-  if k < 1 || k > m then
-    invalid_arg
-      (Printf.sprintf "Fictitious.greedy_response: k = %d outside [1, m = %d]"
-         k m);
-  let chosen = Array.make m false in
-  let covered = Array.make (Graph.n g) false in
-  let picks = ref [] in
-  for _ = 1 to k do
-    let best = ref (-1) and best_gain = ref (-1) in
-    for id = 0 to m - 1 do
-      if not chosen.(id) then begin
-        let e = Graph.edge g id in
-        let gain =
-          (if covered.(e.Graph.u) then 0 else load.(e.Graph.u))
-          + if covered.(e.Graph.v) then 0 else load.(e.Graph.v)
-        in
-        if gain > !best_gain then begin
-          best_gain := gain;
-          best := id
-        end
-      end
-    done;
-    (* Guard: if no pick beat the sentinel (possible when a caller hands
-       in degenerate, e.g. negative, loads), fall back to the lowest-id
-       remaining edge instead of indexing with -1.  The k <= m guard
-       above ensures a remaining edge exists. *)
-    let pick =
-      if !best >= 0 then !best
-      else begin
-        let id = ref 0 in
-        while chosen.(!id) do incr id done;
-        !id
-      end
-    in
-    chosen.(pick) <- true;
-    let e = Graph.edge g pick in
-    covered.(e.Graph.u) <- true;
-    covered.(e.Graph.v) <- true;
-    picks := pick :: !picks
-  done;
-  Defender.Tuple.of_list g !picks
-
-let run ?(naive = false) rng model ~rounds =
-  if rounds < 2 then invalid_arg "Fictitious.run: need at least two rounds";
-  let g = Defender.Model.graph model in
-  let nu = Defender.Model.nu model in
-  let k = Defender.Model.k model in
-  let n = Graph.n g in
-  let exact_ok = enumeration_feasible g k 100_000 in
-  let hit_count = Array.make n 0 in
-  let attack_count = Array.make n 0 in
-  let scan_count = Array.make (Graph.m g) 0 in
-  let gain_series = Array.make rounds 0.0 in
-  (* Full play history, needed by the naive path which re-derives the
-     empirical tables from scratch every round (the analogue of the
-     support re-scan in naive Profile.hit_prob); the default path keeps
-     the tables incrementally and never reads the history. *)
-  let tuple_history = Array.make rounds None in
-  let choice_history = Array.make_matrix rounds nu 0 in
-  let total = ref 0 and tail_total = ref 0 in
-  (* Tie-break scratch for the attacker's least-scanned choice, allocated
-     once for the whole run: the per-round set is written in place instead
-     of being built as a list and converted to an array per call. *)
-  let tie = Array.make n 0 in
-  let attacker_choice () =
-    (* least-scanned vertex, ties broken uniformly *)
-    let ties = ref 0 and best_count = ref max_int in
-    for v = 0 to n - 1 do
-      if hit_count.(v) < !best_count then begin
-        best_count := hit_count.(v);
-        tie.(0) <- v;
-        ties := 1
-      end
-      else if hit_count.(v) = !best_count then begin
-        tie.(!ties) <- v;
-        incr ties
-      end
-    done;
-    (* [tie] is ascending where the old per-call list was descending;
-       index from the top so the PRNG stream and the chosen vertex are
-       bit-for-bit identical to the historical behavior. *)
-    tie.(!ties - 1 - Rng.int rng !ties)
-  in
-  let recompute_from_history r =
-    for v = 0 to n - 1 do
-      let c = ref 0 in
-      for s = 0 to r - 1 do
-        match tuple_history.(s) with
-        | Some t -> if Defender.Tuple.covers g t v then incr c
-        | None -> ()
-      done;
-      hit_count.(v) <- !c
-    done;
-    Array.fill attack_count 0 n 0;
-    for s = 0 to r - 1 do
-      for i = 0 to nu - 1 do
-        let v = choice_history.(s).(i) in
-        attack_count.(v) <- attack_count.(v) + 1
-      done
-    done
-  in
-  let choices = Array.make nu 0 in
-  for r = 0 to rounds - 1 do
-    if naive then recompute_from_history r;
-    for i = 0 to nu - 1 do
-      choices.(i) <- attacker_choice ();
-      choice_history.(r).(i) <- choices.(i)
-    done;
-    let tuple =
-      if exact_ok then exact_response g k attack_count
-      else greedy_response g k attack_count
-    in
-    tuple_history.(r) <- Some tuple;
-    let covered = Defender.Tuple.vertices g tuple in
-    let caught = ref 0 in
-    for i = 0 to nu - 1 do
-      if Defender.Tuple.covers g tuple choices.(i) then incr caught;
-      attack_count.(choices.(i)) <- attack_count.(choices.(i)) + 1
-    done;
-    List.iter (fun v -> hit_count.(v) <- hit_count.(v) + 1) covered;
-    List.iter
-      (fun id -> scan_count.(id) <- scan_count.(id) + 1)
-      (Defender.Tuple.to_list tuple);
-    total := !total + !caught;
-    if r >= rounds / 2 then tail_total := !tail_total + !caught;
-    gain_series.(r) <- float_of_int !total /. float_of_int (r + 1)
-  done;
-  let denom = float_of_int rounds in
-  {
-    rounds;
-    avg_gain = float_of_int !total /. denom;
-    tail_avg_gain = float_of_int !tail_total /. float_of_int (rounds - (rounds / 2));
-    attack_frequency =
-      Array.map (fun c -> float_of_int c /. (denom *. float_of_int nu)) attack_count;
-    scan_frequency = Array.map (fun c -> float_of_int c /. denom) scan_count;
-    gain_series;
-  }
+let greedy_response g k load =
+  Defender.Tuple_game.greedy_edges ~err:"Fictitious.greedy_response" g k load

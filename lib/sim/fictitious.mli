@@ -12,7 +12,7 @@
     independent, learning-dynamics route to the paper's equilibrium
     quantities. *)
 
-type result = {
+type result = Sim_instance.Tuple.Fictitious.result = {
   rounds : int;
   avg_gain : float;  (** time-averaged defender catches per round *)
   tail_avg_gain : float;  (** average over the last half (burn-in dropped) *)

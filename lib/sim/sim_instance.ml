@@ -1,0 +1,7 @@
+(* The simulation tower applied to the built-in games.  [Tuple] is the
+   single application point the wrapper modules (Fictitious, Dynamics,
+   Engine, Workload) include from; applicative functor semantics keep
+   its profile types equal to Defender.Profile's. *)
+
+module Tuple = Game_sim.Make (Defender.Tuple_game)
+module Subgraph = Game_sim.Make (Defender.Subgraph_game)

@@ -1,204 +1,4 @@
-open Netgraph
-module Q = Exact.Q
-module Rng = Prng.Rng
+(* Policy workloads for the tuple game: the generic loop pinned to
+   Tuple_game. *)
 
-type attacker_policy =
-  | Attacker_fixed of Dist.Finite.t
-  | Attacker_uniform
-  | Attacker_hotspot of { targets : Graph.vertex list; concentration : float }
-  | Attacker_adaptive of { epsilon : float }
-
-type defender_policy =
-  | Defender_fixed of (Defender.Tuple.t * Exact.Q.t) list
-  | Defender_uniform_tuple
-  | Defender_greedy of { epsilon : float }
-  | Defender_round_robin
-  | Defender_flaky of { base : defender_policy; failure_rate : float }
-
-type outcome = {
-  rounds : int;
-  total_caught : int;
-  mean_caught : float;
-  caught_series : int array;
-}
-
-let rec policy_name = function
-  | Defender_fixed _ -> "fixed/NE"
-  | Defender_uniform_tuple -> "uniform-tuple"
-  | Defender_greedy _ -> "greedy"
-  | Defender_round_robin -> "round-robin"
-  | Defender_flaky { base; failure_rate } ->
-      Printf.sprintf "flaky(%s, f=%.2f)" (policy_name base) failure_rate
-
-let attacker_name = function
-  | Attacker_fixed _ -> "fixed"
-  | Attacker_uniform -> "uniform"
-  | Attacker_hotspot _ -> "hotspot"
-  | Attacker_adaptive _ -> "adaptive"
-
-(* Mutable per-run state shared by the adaptive policies. *)
-type state = {
-  hit_count : int array;        (* times each vertex was scanned *)
-  attack_count : int array;     (* times each vertex was attacked *)
-  mutable cursor : int;         (* round-robin position *)
-  tie : int array;              (* scratch for least-hit tie-breaking *)
-}
-
-let hotspot_distribution g ~targets ~concentration =
-  if concentration < 0.0 || concentration > 1.0 then
-    invalid_arg "Workload: concentration outside [0,1]";
-  let targets = List.sort_uniq compare targets in
-  if targets = [] then invalid_arg "Workload: empty hotspot target list";
-  let n = Graph.n g in
-  let others = List.filter (fun v -> not (List.mem v targets)) (List.init n Fun.id) in
-  let weights = Array.make n 0.0 in
-  let t_w = concentration /. float_of_int (List.length targets) in
-  List.iter (fun v -> weights.(v) <- t_w) targets;
-  if others <> [] then begin
-    let o_w = (1.0 -. concentration) /. float_of_int (List.length others) in
-    List.iter (fun v -> weights.(v) <- o_w) others
-  end;
-  weights
-
-let least_hit_vertex rng state n =
-  let ties = ref 0 and best_count = ref max_int in
-  for v = 0 to n - 1 do
-    if state.hit_count.(v) < !best_count then begin
-      best_count := state.hit_count.(v);
-      state.tie.(0) <- v;
-      ties := 1
-    end
-    else if state.hit_count.(v) = !best_count then begin
-      state.tie.(!ties) <- v;
-      incr ties
-    end
-  done;
-  (* [tie] is filled ascending where the old per-call list was descending;
-     index from the top so the PRNG stream and the chosen vertex match the
-     historical behavior exactly without a per-call allocation. *)
-  state.tie.(!ties - 1 - Rng.int rng !ties)
-
-let sample_attacker rng g state = function
-  | Attacker_fixed d -> Dist.Finite.sample rng d
-  | Attacker_uniform -> Rng.int rng (Graph.n g)
-  | Attacker_hotspot { targets; concentration } ->
-      (* weights recomputed lazily would be cleaner; cheap enough here *)
-      Rng.weighted_index rng (hotspot_distribution g ~targets ~concentration)
-  | Attacker_adaptive { epsilon } ->
-      if Rng.bool_with_prob rng epsilon then Rng.int rng (Graph.n g)
-      else least_hit_vertex rng state (Graph.n g)
-
-let sample_fixed_tuple rng strategy =
-  let target = Rng.float rng in
-  let rec scan acc = function
-    | [ (t, _) ] -> t
-    | (t, p) :: rest ->
-        let acc = acc +. Q.to_float p in
-        if target < acc then t else scan acc rest
-    | [] -> assert false
-  in
-  scan 0.0 strategy
-
-let uniform_tuple rng g k =
-  let ids = Array.init (Graph.m g) Fun.id in
-  let sample = Rng.sample_without_replacement rng ~count:k ids in
-  Defender.Tuple.of_list g (Array.to_list sample)
-
-let greedy_tuple g state k =
-  (* k edges maximizing the empirical load of their endpoints. *)
-  let score id =
-    let e = Graph.edge g id in
-    state.attack_count.(e.Graph.u) + state.attack_count.(e.Graph.v)
-  in
-  let ids = Array.init (Graph.m g) Fun.id in
-  Array.sort (fun a b -> compare (score b) (score a)) ids;
-  Defender.Tuple.of_list g (Array.to_list (Array.sub ids 0 k))
-
-let round_robin_tuple g state k =
-  let m = Graph.m g in
-  let start = state.cursor in
-  state.cursor <- (state.cursor + k) mod m;
-  Defender.Tuple.of_list g (List.init k (fun i -> (start + i) mod m))
-
-let rec sample_defender rng g state k = function
-  | Defender_fixed strategy -> Some (sample_fixed_tuple rng strategy)
-  | Defender_uniform_tuple -> Some (uniform_tuple rng g k)
-  | Defender_greedy { epsilon } ->
-      if Rng.bool_with_prob rng epsilon then Some (uniform_tuple rng g k)
-      else Some (greedy_tuple g state k)
-  | Defender_round_robin -> Some (round_robin_tuple g state k)
-  | Defender_flaky { base; failure_rate } ->
-      (* outage: the scan produces nothing this round *)
-      if Rng.bool_with_prob rng failure_rate then None
-      else sample_defender rng g state k base
-
-let validate_policies model ~attacker ~defender =
-  let g = Defender.Model.graph model in
-  (match attacker with
-  | Attacker_fixed d ->
-      List.iter
-        (fun v ->
-          if v < 0 || v >= Graph.n g then
-            invalid_arg "Workload.run: fixed attacker distribution off-graph")
-        (Dist.Finite.support d)
-  | Attacker_uniform | Attacker_hotspot _ | Attacker_adaptive _ -> ());
-  let rec check_defender = function
-    | Defender_fixed strategy ->
-        if strategy = [] then invalid_arg "Workload.run: empty defender strategy";
-        List.iter
-          (fun (t, _) ->
-            if Defender.Tuple.size t <> Defender.Model.k model then
-              invalid_arg "Workload.run: fixed defender tuple size <> k")
-          strategy
-    | Defender_flaky { base; failure_rate } ->
-        if failure_rate < 0.0 || failure_rate >= 1.0 then
-          invalid_arg "Workload.run: failure_rate outside [0, 1)";
-        check_defender base
-    | Defender_uniform_tuple | Defender_greedy _ | Defender_round_robin -> ()
-  in
-  check_defender defender
-
-let run rng model ~attacker ~defender ~rounds =
-  if rounds < 1 then invalid_arg "Workload.run: rounds must be positive";
-  validate_policies model ~attacker ~defender;
-  let g = Defender.Model.graph model in
-  let nu = Defender.Model.nu model in
-  let k = Defender.Model.k model in
-  let state =
-    {
-      hit_count = Array.make (Graph.n g) 0;
-      attack_count = Array.make (Graph.n g) 0;
-      cursor = 0;
-      tie = Array.make (Graph.n g) 0;
-    }
-  in
-  let caught_series = Array.make rounds 0 in
-  let total = ref 0 in
-  let choices = Array.make nu 0 in
-  for r = 0 to rounds - 1 do
-    for i = 0 to nu - 1 do
-      choices.(i) <- sample_attacker rng g state attacker
-    done;
-    let tuple = sample_defender rng g state k defender in
-    let caught = ref 0 in
-    for i = 0 to nu - 1 do
-      state.attack_count.(choices.(i)) <- state.attack_count.(choices.(i)) + 1;
-      match tuple with
-      | Some t when Defender.Tuple.covers g t choices.(i) -> incr caught
-      | Some _ | None -> ()
-    done;
-    (match tuple with
-    | Some t ->
-        List.iter
-          (fun v -> state.hit_count.(v) <- state.hit_count.(v) + 1)
-          (Defender.Tuple.vertices g t)
-    | None -> ());
-    caught_series.(r) <- !caught;
-    total := !total + !caught
-  done;
-  {
-    rounds;
-    total_caught = !total;
-    mean_caught = float_of_int !total /. float_of_int rounds;
-    caught_series;
-  }
+include Sim_instance.Tuple.Workload

@@ -10,7 +10,7 @@
 
 open Netgraph
 
-type attacker_policy =
+type attacker_policy = Sim_instance.Tuple.Workload.attacker_policy =
   | Attacker_fixed of Dist.Finite.t
       (** sample from a fixed distribution every round *)
   | Attacker_uniform  (** uniform over all vertices *)
@@ -21,7 +21,7 @@ type attacker_policy =
       (** with prob [1-epsilon] pick a least-hit-so-far vertex, else
           explore uniformly *)
 
-type defender_policy =
+type defender_policy = Sim_instance.Tuple.Workload.defender_policy =
   | Defender_fixed of (Defender.Tuple.t * Exact.Q.t) list
       (** e.g. the NE strategy *)
   | Defender_uniform_tuple  (** k distinct edges uniformly at random *)
@@ -35,7 +35,7 @@ type defender_policy =
           mirror-port traffic); otherwise delegates to [base].  The NE
           gain degrades exactly linearly: (1 − f)·k·ν/|IS|. *)
 
-type outcome = {
+type outcome = Sim_instance.Tuple.Workload.outcome = {
   rounds : int;
   total_caught : int;
   mean_caught : float;

@@ -131,7 +131,14 @@ let test_json_member () =
 (* --- Experiment --- *)
 
 let descr ~id run =
-  { E.id; claim = "claim " ^ id; expected = "expected " ^ id; tag = E.Table; run }
+  {
+    E.id;
+    claim = "claim " ^ id;
+    expected = "expected " ^ id;
+    tag = E.Table;
+    game = "tuple";
+    run;
+  }
 
 let test_experiment_pass () =
   let r =

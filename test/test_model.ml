@@ -48,6 +48,31 @@ let test_tuple_space_size () =
   check 5 3003;
   check 15 1
 
+(* Sizes whose intermediate products used to trip the int-wrap
+   heuristic: the exact Q.binomial path returns the true count whenever
+   it fits in an int, and None (not a wrapped value) when it does not. *)
+let test_tuple_space_size_large () =
+  let star_model m k =
+    model ~k (Gen.star (m + 1))
+    (* star on m+1 vertices has exactly m edges *)
+  in
+  Alcotest.(check (option int))
+    "C(40,20)" (Some 137_846_528_820)
+    (Defender.Model.tuple_space_size (star_model 40 20));
+  Alcotest.(check (option int))
+    "C(62,31)" (Some 465_428_353_255_261_088)
+    (Defender.Model.tuple_space_size (star_model 62 31));
+  Alcotest.(check (option int))
+    "C(66,33) overflows int" None
+    (Defender.Model.tuple_space_size (star_model 66 33));
+  Alcotest.(check string)
+    "C(66,33) exact" "7219428434016265740"
+    (Q.to_string (Defender.Model.tuple_space_size_exact (star_model 66 33)));
+  Alcotest.(check string)
+    "C(300,150) exact"
+    "93759702772827452793193754439064084879232655700081358920472352712975170021839591675861424"
+    (Q.to_string (Defender.Model.tuple_space_size_exact (star_model 300 150)))
+
 (* --- Tuple --- *)
 
 let test_tuple_of_list () =
@@ -344,6 +369,8 @@ let () =
           Alcotest.test_case "validation" `Quick test_model_validation;
           Alcotest.test_case "accessors" `Quick test_model_accessors;
           Alcotest.test_case "tuple space size" `Quick test_tuple_space_size;
+          Alcotest.test_case "tuple space size (large)" `Quick
+            test_tuple_space_size_large;
         ] );
       ( "tuple",
         [

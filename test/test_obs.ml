@@ -167,6 +167,7 @@ let kernel_exp id ~n =
     claim = "obs test fixture";
     expected = "deterministic counter delta";
     tag = E.Micro;
+    game = "tuple";
     run;
   }
 

@@ -407,7 +407,14 @@ let test_pool_alive_ping_shutdown () =
 (* --- registry sweeps through the pool engine --- *)
 
 let descr ~id run =
-  { E.id; claim = "claim " ^ id; expected = "expected " ^ id; tag = E.Table; run }
+  {
+    E.id;
+    claim = "claim " ^ id;
+    expected = "expected " ^ id;
+    tag = E.Table;
+    game = "tuple";
+    run;
+  }
 
 let with_clean_registry f =
   R.clear ();
