@@ -1,4 +1,4 @@
-(* B0-B16: microbenchmarks and kernel-correctness checks.
+(* B0-B17: microbenchmarks and kernel-correctness checks.
 
    B0 ports the former standalone smoke pass: exact kernel = naive
    equality assertions (payoff tables, incremental deviation chains,
@@ -34,7 +34,12 @@
    B16 gates the persistent worker pool: dispatching many near-empty
    jobs through Harness.Pool must beat fork-per-job at full scale, and a
    pooled sweep of the B14 subset must reassemble the timing-stripped
-   sequential artifact byte for byte. *)
+   sequential artifact byte for byte.
+
+   B17 gates the CSR graph substrate: construction, neighbour traversal
+   and Hopcroft-Karp on the flat offset/neighbour arrays against an
+   in-process copy of the seed's boxed tuple-row representation, ns per
+   edge each, with per-edge ratios gated at full scale. *)
 
 open Bechamel
 open Toolkit
@@ -901,6 +906,282 @@ let b16 ctx =
         "B16 %d-experiment smoke sweep on the 4-worker pool: %.3fs\n\n"
         (List.length exps) pool_wall
 
+(* --- B17: CSR substrate vs the seed adjacency representation --- *)
+
+(* The pre-CSR [Graph.t], verbatim from the seed: boxed edge records,
+   one heap-allocated (neighbour, edge id) tuple row per vertex, a
+   tuple-keyed Hashtbl duplicate check and a polymorphic [Array.sort
+   compare] per row — plus the seed's recursive Hopcroft-Karp ported
+   onto it.  Construction, a full neighbour sweep and a maximum
+   matching run against the CSR library path on identical inputs; the
+   per-edge ratios gate the substrate swap (B13/B15 methodology:
+   measure against the exact code the change replaced, in process). *)
+module B17_seed = struct
+  type edge = { u : int; v : int }
+  type t = { n : int; edges : edge array; adj : (int * int) array array }
+
+  let normalize u v = if u < v then { u; v } else { u = v; v = u }
+
+  let make ~n edge_list =
+    let seen = Hashtbl.create (List.length edge_list) in
+    let check (u, v) =
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "B17_seed.make: endpoint out of range";
+      if u = v then invalid_arg "B17_seed.make: self-loop";
+      let e = normalize u v in
+      if Hashtbl.mem seen (e.u, e.v) then
+        invalid_arg "B17_seed.make: duplicate edge";
+      Hashtbl.add seen (e.u, e.v) ();
+      e
+    in
+    let edges = Array.of_list (List.map check edge_list) in
+    let deg = Array.make n 0 in
+    Array.iter
+      (fun e ->
+        deg.(e.u) <- deg.(e.u) + 1;
+        deg.(e.v) <- deg.(e.v) + 1)
+      edges;
+    let adj = Array.init n (fun v -> Array.make deg.(v) (0, 0)) in
+    let fill = Array.make n 0 in
+    Array.iteri
+      (fun id e ->
+        adj.(e.u).(fill.(e.u)) <- (e.v, id);
+        fill.(e.u) <- fill.(e.u) + 1;
+        adj.(e.v).(fill.(e.v)) <- (e.u, id);
+        fill.(e.v) <- fill.(e.v) + 1)
+      edges;
+    Array.iter (fun row -> Array.sort compare row) adj;
+    { n; edges; adj }
+
+  (* Checksum sweep through the seed's public traversal idiom: the old
+     [Graph.neighbors] copied each row with [Array.map fst] and callers
+     iterated the copy — the allocation per vertex is part of what the
+     CSR side's [iter_neighbors] replaces, so it belongs in the
+     baseline. *)
+  let neighbors g v = Array.map fst g.adj.(v)
+
+  let neighbor_sweep g =
+    let acc = ref 0 in
+    for v = 0 to g.n - 1 do
+      Array.iter (fun w -> acc := !acc + w) (neighbors g v)
+    done;
+    !acc
+
+  (* The seed's Hopcroft-Karp, recursive DFS and Queue-based BFS, with
+     the crossing adjacency drawn straight from the tuple rows. *)
+  let hk_size g ~left ~right =
+    let side = Array.make g.n 0 in
+    List.iter (fun v -> side.(v) <- 1) left;
+    List.iter (fun v -> side.(v) <- 2) right;
+    let lefts = Array.of_list left in
+    let nl = Array.length lefts in
+    let adj =
+      Array.map
+        (fun v ->
+          Array.to_list g.adj.(v)
+          |> List.filter_map (fun (w, id) ->
+                 if side.(w) = 2 then Some (w, id) else None)
+          |> Array.of_list)
+        lefts
+    in
+    let inf = max_int in
+    let mate = Array.make g.n (-1) in
+    let dist = Array.make nl inf in
+    let queue = Queue.create () in
+    let left_index = Array.make g.n (-1) in
+    Array.iteri (fun i v -> left_index.(v) <- i) lefts;
+    let bfs () =
+      Queue.clear queue;
+      let reachable_free = ref false in
+      Array.iteri
+        (fun i v ->
+          if mate.(v) < 0 then begin
+            dist.(i) <- 0;
+            Queue.add i queue
+          end
+          else dist.(i) <- inf)
+        lefts;
+      while not (Queue.is_empty queue) do
+        let i = Queue.pop queue in
+        Array.iter
+          (fun (w, _) ->
+            match mate.(w) with
+            | -1 -> reachable_free := true
+            | partner ->
+                let j = left_index.(partner) in
+                if dist.(j) = inf then begin
+                  dist.(j) <- dist.(i) + 1;
+                  Queue.add j queue
+                end)
+          adj.(i)
+      done;
+      !reachable_free
+    in
+    let rec dfs i =
+      let found = ref false in
+      let row = adj.(i) in
+      let k = ref 0 in
+      while (not !found) && !k < Array.length row do
+        let w, _ = row.(!k) in
+        incr k;
+        let extendable =
+          match mate.(w) with
+          | -1 -> true
+          | partner ->
+              let j = left_index.(partner) in
+              dist.(j) = dist.(i) + 1 && dfs j
+        in
+        if extendable then begin
+          mate.(w) <- lefts.(i);
+          mate.(lefts.(i)) <- w;
+          found := true
+        end
+      done;
+      if not !found then dist.(i) <- inf;
+      !found
+    in
+    let size = ref 0 in
+    while bfs () do
+      Array.iteri
+        (fun i v -> if mate.(v) < 0 && dfs i then incr size)
+        lefts
+    done;
+    !size
+end
+
+let b17 ctx =
+  let module Obs = Harness.Obs in
+  let module Graph = Netgraph.Graph in
+  let smoke = E.is_smoke ctx in
+  (* Preferential attachment for construction/traversal (skewed degrees
+     stress both the row sort and the prefix-sum fill), sparse d-out
+     bipartite for the matching pair. *)
+  let n_pa = if smoke then 16_384 else 131_072 in
+  let ab = if smoke then 4_096 else 65_536 in
+  let d = 3 in
+  let pa, bip, pa_pairs, bip_pairs, left, right =
+    Obs.unobserved (fun () ->
+        let rng = Prng.Rng.create 170_017 in
+        let pa = Netgraph.Gen.preferential_attachment rng ~n:n_pa ~c:2 in
+        let bip = Netgraph.Gen.random_bipartite_sparse rng ~a:ab ~b:ab ~d in
+        let pairs g =
+          List.rev
+            (Graph.fold_edges g ~init:[] ~f:(fun acc _ e ->
+                 (e.Graph.u, e.Graph.v) :: acc))
+        in
+        let left = List.init ab (fun i -> i) in
+        let right = List.init ab (fun i -> ab + i) in
+        (pa, bip, pairs pa, pairs bip, left, right))
+  in
+  let m_pa = Graph.m pa and m_bip = Graph.m bip in
+  E.measure ctx "pa_n" (E.Int n_pa);
+  E.measure ctx "pa_m" (E.Int m_pa);
+  E.measure ctx "bip_n" (E.Int (2 * ab));
+  E.measure ctx "bip_m" (E.Int m_bip);
+  (* Correctness first: the baseline only measures anything if both
+     representations agree on the same inputs. *)
+  let seed_pa = Obs.unobserved (fun () -> B17_seed.make ~n:n_pa pa_pairs) in
+  let seed_bip =
+    Obs.unobserved (fun () -> B17_seed.make ~n:(2 * ab) bip_pairs)
+  in
+  let csr_sweep g =
+    let acc = ref 0 in
+    for v = 0 to Graph.n g - 1 do
+      Graph.iter_neighbors g v ~f:(fun w -> acc := !acc + w)
+    done;
+    !acc
+  in
+  ignore
+    (E.check ctx ~label:"B17: CSR and seed traversal checksums agree"
+       (csr_sweep pa = B17_seed.neighbor_sweep seed_pa
+       && csr_sweep bip = B17_seed.neighbor_sweep seed_bip));
+  let csr_size =
+    (Matching.Hopcroft_karp.max_matching bip ~left ~right).Matching.Hopcroft_karp.size
+  in
+  let seed_size =
+    Obs.unobserved (fun () -> B17_seed.hk_size seed_bip ~left ~right)
+  in
+  E.measure ctx "bip_matching_size" (E.Int csr_size);
+  ignore
+    (E.check ctx ~label:"B17: CSR and seed matching sizes agree"
+       (csr_size = seed_size));
+  (* Fixed-iteration interleaved min-of-rounds (B15 methodology); all
+     timing under [Obs.unobserved] so HK's counters stay a pure function
+     of the single correctness run above. *)
+  let repeat = if smoke then 2 else 3 in
+  let rounds = if smoke then 1 else 3 in
+  let time_side ~batch f =
+    let s =
+      Harness.Timer.time_stats ~repeat (fun () ->
+          for _ = 1 to batch do
+            f ()
+          done)
+    in
+    s.Harness.Timer.min /. float_of_int batch
+  in
+  let pair ~batch csr seed =
+    let t_csr = ref infinity and t_seed = ref infinity in
+    Obs.unobserved (fun () ->
+        for _ = 1 to rounds do
+          t_csr := Float.min !t_csr (time_side ~batch csr);
+          t_seed := Float.min !t_seed (time_side ~batch seed)
+        done);
+    (!t_csr, !t_seed)
+  in
+  let build_csr, build_seed =
+    pair ~batch:1
+      (fun () -> ignore (Graph.make ~n:n_pa pa_pairs))
+      (fun () -> ignore (B17_seed.make ~n:n_pa pa_pairs))
+  in
+  let trav_batch = if smoke then 8 else 4 in
+  let trav_csr, trav_seed =
+    pair ~batch:trav_batch
+      (fun () -> ignore (csr_sweep pa))
+      (fun () -> ignore (B17_seed.neighbor_sweep seed_pa))
+  in
+  let match_csr, match_seed =
+    pair ~batch:1
+      (fun () -> ignore (Matching.Hopcroft_karp.max_matching bip ~left ~right))
+      (fun () -> ignore (B17_seed.hk_size seed_bip ~left ~right))
+  in
+  let per_edge m t = t /. float_of_int m *. 1e9 in
+  let report name m csr seed =
+    E.measure ctx (name ^ "_csr_ns_per_edge") (E.Float (per_edge m csr));
+    E.measure ctx (name ^ "_seed_ns_per_edge") (E.Float (per_edge m seed));
+    let ratio = if seed > 0.0 then csr /. seed else Float.nan in
+    E.measure ctx (name ^ "_csr_vs_seed") (E.Float ratio);
+    E.outf ctx "B17 %-12s %s/edge CSR, %s/edge seed (CSR at %.2fx)\n" name
+      (human_time (per_edge m csr))
+      (human_time (per_edge m seed))
+      ratio;
+    ratio
+  in
+  E.outf ctx "B17 substrate (PA n=%d m=%d; bipartite n=%d m=%d):\n" n_pa m_pa
+    (2 * ab) m_bip;
+  let r_build = report "construction" m_pa build_csr build_seed in
+  let r_trav = report "traversal" m_pa trav_csr trav_seed in
+  let r_match = report "matching" m_bip match_csr match_seed in
+  E.outf ctx "\n";
+  ignore
+    (E.check ctx ~label:"B17 timings: positive and finite"
+       (List.for_all
+          (fun t -> Float.is_finite t && t > 0.0)
+          [ build_csr; build_seed; trav_csr; trav_seed; match_csr; match_seed ]));
+  (* Full scale gates the swap: CSR construction must beat the
+     Hashtbl-and-sort path outright; traversal and matching must at
+     least hold the line (small tolerance for run-to-run noise). *)
+  if not smoke then begin
+    ignore
+      (E.check ctx ~label:"B17: CSR construction cheaper than seed (< 1.0x)"
+         (Float.is_finite r_build && r_build < 1.0));
+    ignore
+      (E.check ctx ~label:"B17: CSR traversal within 1.05x of seed"
+         (Float.is_finite r_trav && r_trav <= 1.05));
+    ignore
+      (E.check ctx ~label:"B17: CSR matching within 1.10x of seed"
+         (Float.is_finite r_match && r_match <= 1.10))
+  end
+
 let register () =
   let r ~id ~claim ~expected run =
     Harness.Registry.register
@@ -976,4 +1257,14 @@ let register () =
       "pool/fork dispatch ratio < 1.0 at full scale (min-of-3); \
        timing-stripped pooled artifact byte-identical to sequential, no \
        crashed verdicts"
-    b16
+    b16;
+  r ~id:"B17"
+    ~claim:
+      "the CSR graph substrate is at least as fast per edge as the seed's \
+       boxed tuple-row representation for construction, traversal and \
+       maximum matching"
+    ~expected:
+      "construction < 1.0x, traversal <= 1.05x, matching <= 1.10x of the \
+       in-process seed copy at full scale (min-of-3 interleaved, fixed \
+       iterations); checksums and matching sizes equal at both scales"
+    b17

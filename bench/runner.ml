@@ -17,9 +17,10 @@ let ensure_registered () =
     Exp_tables.register ();
     Exp_figures.register ();
     Micro.register ();
-    (* last: the S family lands after the tuple experiments, keeping
-       tuple artifact prefixes stable *)
-    Exp_subgraph.register ()
+    (* last: the S and G families land after the tuple experiments,
+       keeping tuple artifact prefixes stable *)
+    Exp_subgraph.register ();
+    Exp_biggraph.register ()
   end
 
 (* Legacy group selectors, mapped by id prefix: T*/A* are the table
@@ -29,6 +30,7 @@ let group_prefixes = function
   | "figures" -> Some [ "F" ]
   | "micro" -> Some [ "B" ]
   | "subgraph" -> Some [ "S" ]
+  | "biggraph" -> Some [ "G" ]
   | "all" | "smoke" -> Some []
   | _ -> None
 
@@ -110,7 +112,8 @@ let run opts =
         None
     | _, None ->
         Printf.eprintf
-          "error: unknown selector %S (use tables|figures|micro|subgraph|smoke|all)\n"
+          "error: unknown selector %S (use \
+           tables|figures|micro|subgraph|biggraph|smoke|all)\n"
           opts.group;
         None
     | Ok es, Some prefixes -> Some (List.filter (in_group prefixes) es)

@@ -81,9 +81,8 @@ module Make (G : Game.S) = struct
       let edge_load = Array.copy k.edge_load in
       let shift v delta =
         load.(v) <- Q.add load.(v) delta;
-        Array.iter
-          (fun id -> edge_load.(id) <- Q.add edge_load.(id) delta)
-          (Graph.incident_edges g v)
+        Graph.iter_incident g v ~f:(fun _ id ->
+            edge_load.(id) <- Q.add edge_load.(id) delta)
       in
       Finite.iter old_d ~f:(fun v p -> shift v (Q.neg p));
       Finite.iter new_d ~f:(fun v p -> shift v p);

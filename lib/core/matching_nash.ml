@@ -119,7 +119,12 @@ let support_edges g { is; vc } =
         let edge_for v =
           match assigned.(v) with
           | Some id -> id
-          | None -> (Graph.incident_edges g v).(0)
+          | None ->
+              let first = ref (-1) in
+              Graph.iter_incident g v ~f:(fun _ id ->
+                  if !first < 0 then first := id);
+              assert (!first >= 0);
+              !first
         in
         Ok (List.map edge_for is)
     | { Matching.Hall.saturating_matching = None; _ } -> assert false

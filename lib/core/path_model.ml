@@ -67,15 +67,12 @@ let enumerate_paths ?(limit = 2_000_000) g ~k =
       end
     end
     else
-      Array.iter
-        (fun id ->
-          let w = Graph.opposite g id head in
+      Graph.iter_incident g head ~f:(fun w id ->
           if not on_path.(w) then begin
             on_path.(w) <- true;
             extend w (id :: edges_so_far) (remaining - 1) start;
             on_path.(w) <- false
           end)
-        (Graph.incident_edges g head)
   in
   Graph.iter_vertices g ~f:(fun v ->
       on_path.(v) <- true;
@@ -100,10 +97,8 @@ let hamiltonian_path g =
     for mask = 1 to full do
       for v = 0 to n - 1 do
         if mask land (1 lsl v) <> 0 && get mask v then
-          Array.iter
-            (fun w ->
+          Graph.iter_neighbors g v ~f:(fun w ->
               if mask land (1 lsl w) = 0 then set (mask lor (1 lsl w)) w)
-            (Graph.neighbors g v)
       done
     done;
     let rec recover mask v acc =
@@ -111,8 +106,11 @@ let hamiltonian_path g =
       else
         let prev_mask = mask lxor (1 lsl v) in
         let prev =
-          Array.to_list (Graph.neighbors g v)
-          |> List.find (fun w -> prev_mask land (1 lsl w) <> 0 && get prev_mask w)
+          let p = ref (-1) in
+          Graph.iter_neighbors g v ~f:(fun w ->
+              if !p < 0 && prev_mask land (1 lsl w) <> 0 && get prev_mask w
+              then p := w);
+          !p
         in
         recover prev_mask prev (v :: acc)
     in

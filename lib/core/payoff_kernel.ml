@@ -17,9 +17,8 @@ let vertex_incidence_sums g weights =
   if Array.length weights <> Graph.m g then
     invalid_arg "Payoff_kernel.vertex_incidence_sums: need one weight per edge";
   Array.init (Graph.n g) (fun v ->
-      Array.fold_left
-        (fun acc id -> Q.add acc weights.(id))
-        Q.zero (Graph.incident_edges g v))
+      Graph.fold_incident g v ~init:Q.zero ~f:(fun acc _ id ->
+          Q.add acc weights.(id)))
 
 let weighted_loads model ~weights ~vp =
   let g = Model.graph model in

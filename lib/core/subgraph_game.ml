@@ -112,6 +112,14 @@ let value_upper_bound inst ~load ~edge_load:_ =
   in
   take 0 Q.zero loads
 
+(* [v] touches the current set iff some CSR-row neighbor is marked;
+   scanned without copying the row, bailing at the first hit. *)
+let touches_set g in_set v =
+  try
+    Graph.iter_neighbors g v ~f:(fun u -> if in_set.(u) then raise Exit);
+    false
+  with Exit -> true
+
 (* Greedy connected growth: start from [start] and repeatedly absorb
    the frontier vertex (adjacent to the current set) with the best
    score, lowest id on ties.  The instance graph is connected, so the
@@ -127,7 +135,7 @@ let grow inst ~score ~start =
     for v = 0 to n - 1 do
       if
         (not in_set.(v))
-        && Array.exists (fun u -> in_set.(u)) (Graph.neighbors g v)
+        && touches_set g in_set v
         && (!best < 0 || score v > score !best)
       then best := v
     done;
@@ -167,7 +175,7 @@ let random_strategy inst rng =
     for v = n - 1 downto 0 do
       if
         (not in_set.(v))
-        && Array.exists (fun u -> in_set.(u)) (Graph.neighbors g v)
+        && touches_set g in_set v
       then frontier := v :: !frontier
     done;
     let frontier = Array.of_list !frontier in

@@ -18,8 +18,7 @@ let attempt g =
          Queue.add root queue;
          while not (Queue.is_empty queue) do
            let v = Queue.pop queue in
-           Array.iter
-             (fun w ->
+           Graph.iter_neighbors g v ~f:(fun w ->
                if color.(w) < 0 then begin
                  color.(w) <- 1 - color.(v);
                  parent.(w) <- v;
@@ -29,7 +28,6 @@ let attempt g =
                  conflict := Some (v, w);
                  raise Exit
                end)
-             (Graph.neighbors g v)
          done
        end
      done

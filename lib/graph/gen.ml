@@ -320,3 +320,127 @@ let atlas_large ~seed =
     ("regular-100x4", random_regular rng ~n:100 ~d:4);
     ("enterprise-8+80", enterprise rng ~core:8 ~leaves:80 ~uplinks:2);
   ]
+
+(* --- scalable generators (Builder-based, O(m), no quadratic scans) --- *)
+
+let preferential_attachment rng ~n ~c =
+  if n < 2 then invalid_arg "Gen.preferential_attachment: need n >= 2";
+  if c < 1 then invalid_arg "Gen.preferential_attachment: need c >= 1";
+  let total = ref 1 in
+  for i = 2 to n - 1 do
+    total := !total + min c i
+  done;
+  let b = Graph.Builder.create ~edges_hint:!total ~n () in
+  (* Endpoint multiset: each vertex appears once per unit of degree, so
+     a uniform draw from the prefix is a degree-proportional draw. *)
+  let targets = Array.make (2 * !total) 0 in
+  let tsize = ref 0 in
+  let push v =
+    targets.(!tsize) <- v;
+    incr tsize
+  in
+  Graph.Builder.add_edge b 0 1;
+  push 0;
+  push 1;
+  let chosen = Array.make (min c (n - 1)) (-1) in
+  for i = 2 to n - 1 do
+    let want = min c i in
+    let cnt = ref 0 in
+    while !cnt < want do
+      let cand = targets.(Rng.int rng !tsize) in
+      let dup = ref false in
+      for j = 0 to !cnt - 1 do
+        if chosen.(j) = cand then dup := true
+      done;
+      if not !dup then begin
+        chosen.(!cnt) <- cand;
+        incr cnt
+      end
+    done;
+    for j = 0 to want - 1 do
+      Graph.Builder.add_edge b chosen.(j) i;
+      push chosen.(j);
+      push i
+    done
+  done;
+  Graph.Builder.finish b
+
+let chung_lu rng ~n ~gamma ~avg_degree =
+  if n < 1 then invalid_arg "Gen.chung_lu: need n >= 1";
+  if gamma <= 2.0 then invalid_arg "Gen.chung_lu: need gamma > 2";
+  if avg_degree <= 0.0 then invalid_arg "Gen.chung_lu: need avg_degree > 0";
+  (* Power-law expected degrees w_i proportional to (i+1)^(-1/(gamma-1)),
+     scaled to the requested mean and capped at sqrt(S) so that every
+     pair probability w_u * w_v / S stays at most 1. *)
+  let alpha = 1.0 /. (gamma -. 1.0) in
+  let w = Array.init n (fun i -> float_of_int (i + 1) ** -.alpha) in
+  let sum = Array.fold_left ( +. ) 0.0 w in
+  let scale = avg_degree *. float_of_int n /. sum in
+  let s = avg_degree *. float_of_int n in
+  let cap = sqrt s in
+  for i = 0 to n - 1 do
+    w.(i) <- Float.min (w.(i) *. scale) cap
+  done;
+  (* Miller-Hagberg geometric skipping over each row u: weights are
+     sorted decreasing, so the pair probability is monotone in v and a
+     skip length drawn at the current probability, corrected by a
+     q/p acceptance test, visits O(m) candidate pairs in total. *)
+  let b = Graph.Builder.create ~edges_hint:(int_of_float (s /. 2.0) + n) ~n () in
+  let u = ref 0 in
+  while !u < n - 1 do
+    let wu = w.(!u) in
+    let v = ref (!u + 1) in
+    let p = ref (Float.min 1.0 (wu *. w.(!v) /. s)) in
+    while !v < n && !p > 0.0 do
+      if !p < 1.0 then begin
+        let r = Rng.float rng in
+        let fskip = floor (log1p (-.r) /. log1p (-. !p)) in
+        (* The skip can exceed the row on tiny probabilities; saturate
+           instead of trusting int_of_float on a huge float. *)
+        if fskip >= float_of_int (n - !v) then v := n
+        else v := !v + int_of_float fskip
+      end;
+      if !v < n then begin
+        let q = Float.min 1.0 (wu *. w.(!v) /. s) in
+        if Rng.float rng < q /. !p then Graph.Builder.add_edge b !u !v;
+        p := q;
+        incr v
+      end
+    done;
+    incr u
+  done;
+  Graph.Builder.finish b
+
+let random_bipartite_sparse rng ~a ~b ~d =
+  if a < 1 || b < 1 then
+    invalid_arg "Gen.random_bipartite_sparse: need positive sides";
+  if d < 1 || d > b then
+    invalid_arg "Gen.random_bipartite_sparse: need 1 <= d <= b";
+  let bd = Graph.Builder.create ~edges_hint:(a * d) ~n:(a + b) () in
+  let chosen = Array.make d (-1) in
+  for u = 0 to a - 1 do
+    if 2 * d > b then begin
+      (* Dense side: draw without replacement instead of retrying. *)
+      let rights = Array.init b (fun i -> a + i) in
+      let picks = Rng.sample_without_replacement rng ~count:d rights in
+      Array.iter (fun v -> Graph.Builder.add_edge bd u v) picks
+    end
+    else begin
+      let cnt = ref 0 in
+      while !cnt < d do
+        let cand = a + Rng.int rng b in
+        let dup = ref false in
+        for j = 0 to !cnt - 1 do
+          if chosen.(j) = cand then dup := true
+        done;
+        if not !dup then begin
+          chosen.(!cnt) <- cand;
+          incr cnt
+        end
+      done;
+      for j = 0 to d - 1 do
+        Graph.Builder.add_edge bd u chosen.(j)
+      done
+    end
+  done;
+  Graph.Builder.finish bd

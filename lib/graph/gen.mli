@@ -92,6 +92,35 @@ val caterpillar : spine:int -> legs:int -> Graph.t
 (** The Petersen graph (3-regular, girth 5, non-bipartite, n = 10). *)
 val petersen : unit -> Graph.t
 
+(** [preferential_attachment rng ~n ~c] grows a Barabási–Albert-style
+    graph: a seed edge [{0, 1}], then each vertex [i >= 2] attaches to
+    [min c i] distinct earlier vertices drawn proportionally to their
+    current degree (endpoint-multiset sampling — O(m), no quadratic
+    scan).  The result is connected with
+    [m = 1 + sum_{i=2}^{n-1} min c i]; in particular [c = 1] yields a
+    random recursive tree with [m = n - 1].
+    @raise Invalid_argument unless [n >= 2] and [c >= 1]. *)
+val preferential_attachment : Prng.Rng.t -> n:int -> c:int -> Graph.t
+
+(** [chung_lu rng ~n ~gamma ~avg_degree] samples the Chung–Lu model
+    with power-law expected degrees [w_i] proportional to
+    [(i+1)^(-1/(gamma-1))] (degree-distribution exponent [gamma]),
+    scaled to mean [avg_degree] and capped so every pair probability
+    [w_u w_v / sum w] is at most 1.  Uses Miller–Hagberg geometric
+    skipping: O(n + m) expected work, not O(n^2).
+    @raise Invalid_argument unless [n >= 1], [gamma > 2] and
+    [avg_degree > 0]. *)
+val chung_lu : Prng.Rng.t -> n:int -> gamma:float -> avg_degree:float -> Graph.t
+
+(** [random_bipartite_sparse rng ~a ~b ~d] puts sides [{0..a-1}] and
+    [{a..a+b-1}]; each left vertex picks [d] distinct uniform right
+    neighbors, so [m = a * d] exactly.  O(m) for [d] well below [b],
+    O(a * b) at worst — unlike {!random_bipartite}, which is always
+    quadratic in the side sizes.
+    @raise Invalid_argument unless both sides are positive and
+    [1 <= d <= b]. *)
+val random_bipartite_sparse : Prng.Rng.t -> a:int -> b:int -> d:int -> Graph.t
+
 (** The atlas: named deterministic instances of bounded size used by tests
     and tables ([name, graph] pairs, sizes suitable for brute force). *)
 val atlas_small : unit -> (string * Graph.t) list

@@ -2,8 +2,15 @@
 
     Vertices are [0 .. n-1]; edges carry ids [0 .. m-1] in insertion order.
     Self-loops and parallel edges are rejected at construction.  The
-    structure is immutable after [make]; adjacency is stored per-vertex and
-    sorted, so membership queries are logarithmic and iteration is cheap.
+    structure is immutable after [make]; adjacency is stored as flat CSR
+    (an [int array] offset table plus packed neighbor/edge-id arrays, no
+    per-vertex heap structures), each row sorted by neighbor, so
+    membership queries are logarithmic, iteration is cheap, and the
+    representation scales to millions of vertices.  The non-allocating
+    {!iter_neighbors}/{!fold_neighbors}/{!iter_incident}/{!fold_incident}
+    accessors walk a row without copying it; inner loops should prefer
+    them over {!neighbors}/{!incident_edges}, which allocate a fresh
+    array per call.
 
     This is the information network of the Tuple model: vertices are hosts,
     edges are communication links. *)
@@ -21,6 +28,41 @@ type edge = { u : vertex; v : vertex }
     @raise Invalid_argument on a negative [n], an endpoint out of range, a
     self-loop, or a duplicate edge (in either orientation). *)
 val make : n:int -> (vertex * vertex) list -> t
+
+(** Incremental construction without an intermediate edge list: streaming
+    decoders and O(m) generators push edges one at a time into growable
+    flat endpoint arrays, and [finish] runs the same monomorphic
+    sort-and-pack pass as {!make}.  Endpoint and self-loop validation
+    happens eagerly in [add_edge]; duplicate detection happens in
+    [finish].  A builder is cheap (two int arrays) and single-use:
+    after [finish] it should be dropped. *)
+module Builder : sig
+  type graph = t
+
+  type t
+
+  (** [create ~n ()] starts a builder for a graph on [n] vertices.
+      [edges_hint] pre-sizes the endpoint arrays (they grow by doubling
+      past it).
+      @raise Invalid_argument on a negative [n] or [n > 2^31 - 1]. *)
+  val create : ?edges_hint:int -> n:int -> unit -> t
+
+  val vertex_count : t -> int
+
+  (** Edges added so far; the next edge gets this id. *)
+  val edge_count : t -> int
+
+  (** [add_edge b u v] appends the undirected edge [{u, v}]; ids are
+      assigned in insertion order, as in {!make}.
+      @raise Invalid_argument on an endpoint out of range or a
+      self-loop. *)
+  val add_edge : t -> vertex -> vertex -> unit
+
+  (** Sort, reject duplicates, and pack into CSR.
+      @raise Invalid_argument on a duplicate edge (in either
+      orientation). *)
+  val finish : t -> graph
+end
 
 val n : t -> int
 
@@ -48,6 +90,35 @@ val neighbors : t -> vertex -> vertex array
 val incident_edges : t -> vertex -> edge_id array
 
 val degree : t -> vertex -> int
+
+(** [iter_neighbors g v ~f] applies [f] to each neighbor of [v] in
+    increasing order, without allocating.  The non-allocating
+    counterpart of {!neighbors}. *)
+val iter_neighbors : t -> vertex -> f:(vertex -> unit) -> unit
+
+(** Left fold over the neighbors of [v] in increasing order, without
+    allocating. *)
+val fold_neighbors : t -> vertex -> init:'a -> f:('a -> vertex -> 'a) -> 'a
+
+(** [iter_incident g v ~f] applies [f w id] to each incident edge of
+    [v], where [w] is the opposite endpoint and [id] the edge id, in
+    increasing order of [w], without allocating.  Replaces the
+    [incident_edges]-then-[opposite] idiom in inner loops. *)
+val iter_incident : t -> vertex -> f:(vertex -> edge_id -> unit) -> unit
+
+(** Left fold over incident edges of [v] as [(opposite, id)] pairs in
+    increasing order of the opposite endpoint, without allocating. *)
+val fold_incident :
+  t -> vertex -> init:'a -> f:('a -> vertex -> edge_id -> 'a) -> 'a
+
+(** [edge_u g id] ([edge_v g id]) is the smaller (larger) endpoint of
+    edge [id] — the unboxed fields of {!edge}, for inner loops that
+    must not allocate the record.
+    @raise Invalid_argument if the id is out of range (via the array
+    bound check). *)
+val edge_u : t -> edge_id -> vertex
+
+val edge_v : t -> edge_id -> vertex
 
 (** The endpoint of edge [e] that is not [v].
     @raise Invalid_argument if [v] is not an endpoint of [e]. *)

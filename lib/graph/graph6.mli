@@ -1,16 +1,33 @@
-(** graph6 encoding (McKay's format, as used by nauty/geng and most graph
-    repositories): a printable-ASCII serialization of simple undirected
-    graphs.  Lets the library exchange instances with the wider
-    graph-theory toolchain. *)
+(** graph6 and sparse6 encodings (McKay's formats, as used by
+    nauty/geng and most graph repositories): printable-ASCII
+    serializations of simple undirected graphs.  Lets the library
+    exchange instances with the wider graph-theory toolchain.  Decoding
+    streams straight into a {!Graph.Builder} — no intermediate edge
+    list — so sparse million-edge inputs build exactly one CSR graph. *)
 
-(** Encode. @raise Invalid_argument for [n > 258047] (the 3-byte size
-    form; longer forms are not needed at our scales). *)
-val encode : Graph.t -> string
+(** Encode in graph6 (dense) format.  All three size headers are
+    emitted as needed: 1-byte for [n <= 62], ['~'] 18-bit for
+    [n <= 258047], and ["~~"] 36-bit beyond that.  [~force_long:true]
+    forces the 36-bit header regardless of size, which round-trips the
+    long form without a multi-gigabyte test graph. *)
+val encode : ?force_long:bool -> Graph.t -> string
 
-(** Decode one graph6 line (optional trailing newline tolerated).  All
-    three size headers are understood (1-byte, ['~'] 18-bit and ["~~"]
-    36-bit forms); sizes beyond the {!encode} limit are rejected rather
-    than misparsed.  The input must be exact: nonzero padding bits or
+(** Decode one graph6 or sparse6 line (optional trailing newline
+    tolerated); a leading [':'] dispatches to {!decode_sparse6}.  All
+    three size headers are understood; sizes beyond the [2^31 - 1]
+    vertex-id range of the substrate are rejected rather than
+    misparsed.  graph6 input must be exact: nonzero padding bits or
     bytes after the adjacency data are errors.
     @raise Invalid_argument on malformed input. *)
 val decode : string -> Graph.t
+
+(** Encode in sparse6 format (size proportional to [m log n] rather
+    than [n^2]), including nauty's padding rule for power-of-two vertex
+    counts. *)
+val encode_sparse6 : Graph.t -> string
+
+(** Decode one sparse6 line (leading [':'] required, optional trailing
+    newline tolerated).  Inputs that encode a self-loop or a repeated
+    edge are rejected: the substrate holds simple graphs only.
+    @raise Invalid_argument on malformed input. *)
+val decode_sparse6 : string -> Graph.t

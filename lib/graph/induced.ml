@@ -20,7 +20,7 @@ let is_connected_subset g vs =
       let rec walk v =
         if not seen.(v) then begin
           seen.(v) <- true;
-          Array.iter (fun u -> if in_set.(u) then walk u) (Graph.neighbors g v)
+          Graph.iter_neighbors g v ~f:(fun u -> if in_set.(u) then walk u)
         end
       in
       walk start;
@@ -57,14 +57,12 @@ let fold_connected_subsets g ~size ~init ~f =
           | w :: rest ->
               sub.(depth) <- w;
               let added =
-                Array.fold_left
-                  (fun fresh u ->
+                Graph.fold_neighbors g w ~init:[] ~f:(fun fresh u ->
                     if admit u then begin
                       seen.(u) <- true;
                       u :: fresh
                     end
                     else fresh)
-                  [] (Graph.neighbors g w)
               in
               let added = List.rev added in
               extend (depth + 1) (rest @ added);
@@ -74,14 +72,12 @@ let fold_connected_subsets g ~size ~init ~f =
         consume ext
     in
     let frontier =
-      Array.fold_left
-        (fun fr u ->
+      Graph.fold_neighbors g anchor ~init:[] ~f:(fun fr u ->
           if admit u then begin
             seen.(u) <- true;
             u :: fr
           end
           else fr)
-        [] (Graph.neighbors g anchor)
     in
     let frontier = List.rev frontier in
     extend 1 frontier;

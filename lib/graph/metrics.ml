@@ -27,16 +27,11 @@ let girth g =
       Queue.add e.Graph.u queue;
       while not (Queue.is_empty queue) do
         let x = Queue.pop queue in
-        Array.iter
-          (fun eid ->
-            if eid <> id then begin
-              let y = Graph.opposite g eid x in
-              if dist.(y) < 0 then begin
-                dist.(y) <- dist.(x) + 1;
-                Queue.add y queue
-              end
+        Graph.iter_incident g x ~f:(fun y eid ->
+            if eid <> id && dist.(y) < 0 then begin
+              dist.(y) <- dist.(x) + 1;
+              Queue.add y queue
             end)
-          (Graph.incident_edges g x)
       done;
       if dist.(e.Graph.v) >= 0 then
         let cycle = dist.(e.Graph.v) + 1 in
@@ -58,10 +53,8 @@ let cut_structure g =
     depth.(v) <- d;
     low.(v) <- d;
     let children = ref 0 in
-    Array.iter
-      (fun id ->
-        if id <> parent_edge then begin
-          let w = Graph.opposite g id v in
+    Graph.iter_incident g v ~f:(fun w id ->
+        if id <> parent_edge then
           if visited.(w) then low.(v) <- min low.(v) depth.(w)
           else begin
             incr children;
@@ -69,9 +62,7 @@ let cut_structure g =
             low.(v) <- min low.(v) low.(w);
             if low.(w) > depth.(v) then bridge := id :: !bridge;
             if parent_edge >= 0 && low.(w) >= depth.(v) then is_cut.(v) <- true
-          end
-        end)
-      (Graph.incident_edges g v);
+          end);
     if parent_edge < 0 && !children > 1 then is_cut.(v) <- true
   in
   for v = 0 to n - 1 do

@@ -6,94 +6,166 @@ type result = {
   edges : Graph.edge_id list;
 }
 
-(* The two events that characterize a run's difficulty: contractions
-   say how non-bipartite the instance behaved, augmentations equal the
-   matching size.  Both are pure functions of the input graph. *)
+(* The events that characterize a run's difficulty: greedy seeds say
+   how much of the matching the maximal-matching warm start found,
+   contractions say how non-bipartite the instance behaved, and seeds
+   plus augmentations equal the matching size.  All are pure functions
+   of the input graph. *)
+let c_seeds = Obs.counter "blossom.seeds"
 let c_contractions = Obs.counter "blossom.contractions"
 let c_augmentations = Obs.counter "blossom.augmentations"
 
-(* Classic O(n^3) formulation: repeatedly grow an alternating BFS forest
-   from each free vertex, contracting blossoms on the fly via the [base]
-   array, and augment when a free vertex is reached. *)
+exception Found of int
+
+(* Classic blossom formulation — grow an alternating BFS forest from
+   each remaining free vertex, contracting blossoms on the fly via the
+   [base] array, augmenting when a free vertex is reached — engineered
+   for the BigGraph tier: a greedy maximal matching seeds the search
+   (correct by Berge's theorem: augmenting paths from the seed reach
+   the same maximum size), per-search state is epoch-stamped instead of
+   O(n)-refilled, the blossom rebase scan walks only the vertices the
+   search has touched, and traversal uses the non-allocating CSR row
+   iterators.  Worst case stays O(n^3); on sparse instances each search
+   is O(m alpha-ish) and most vertices are matched by the seed. *)
 let max_matching g =
   Obs.span "blossom.max_matching" @@ fun () ->
   let n = Graph.n g in
   let mate = Array.make n (-1) in
+
+  let seeds = ref 0 in
+  for v = 0 to n - 1 do
+    if mate.(v) < 0 then
+      match
+        try
+          Graph.iter_neighbors g v ~f:(fun w ->
+              if mate.(w) < 0 then raise (Found w));
+          None
+        with Found w -> Some w
+      with
+      | Some w ->
+          mate.(v) <- w;
+          mate.(w) <- v;
+          incr seeds
+      | None -> ()
+  done;
+  Obs.add c_seeds !seeds;
+
   let parent = Array.make n (-1) in
   let base = Array.init n Fun.id in
   let used = Array.make n false in
-  let in_blossom = Array.make n false in
-  let queue = Queue.create () in
+  (* [stamp.(v) = epoch] marks parent/base/used as valid for the
+     current search; [touch] lazily resets them, recording v so the
+     contraction rebase scan is bounded by the search's footprint. *)
+  let stamp = Array.make n 0 in
+  let epoch = ref 0 in
+  let touched = Array.make n 0 in
+  let n_touched = ref 0 in
+  let touch v =
+    if stamp.(v) <> !epoch then begin
+      stamp.(v) <- !epoch;
+      used.(v) <- false;
+      parent.(v) <- -1;
+      base.(v) <- v;
+      touched.(!n_touched) <- v;
+      incr n_touched
+    end
+  in
+  let on_path_stamp = Array.make n 0 in
+  let path_epoch = ref 0 in
+  let in_blossom_stamp = Array.make n 0 in
+  let blossom_epoch = ref 0 in
+  let queue = Array.make n 0 in
+  let qhead = ref 0 and qtail = ref 0 in
+  let enqueue v =
+    queue.(!qtail) <- v;
+    incr qtail
+  in
 
+  (* Every vertex these walk (bases, mates and parents of forest
+     vertices) is already touched, so the stamped arrays are valid. *)
   let lowest_common_ancestor a b =
-    let on_path = Array.make n false in
+    incr path_epoch;
     let rec mark v =
-      on_path.(base.(v)) <- true;
+      on_path_stamp.(base.(v)) <- !path_epoch;
       if mate.(base.(v)) >= 0 then mark parent.(mate.(base.(v)))
     in
     mark a;
-    let rec find v = if on_path.(base.(v)) then base.(v) else find parent.(mate.(base.(v))) in
+    let rec find v =
+      if on_path_stamp.(base.(v)) = !path_epoch then base.(v)
+      else find parent.(mate.(base.(v)))
+    in
     find b
   in
 
-  (* Mark blossom vertices on the path from [v] down to base [b], rerooting
-     parents so the stem alternates through [child]. *)
+  (* Mark blossom vertices on the path from [v] down to base [b],
+     rerooting parents so the stem alternates through [child]. *)
   let rec mark_path v b child =
+    touch v;
     if base.(v) <> b then begin
-      in_blossom.(base.(v)) <- true;
-      in_blossom.(base.(mate.(v))) <- true;
+      let mv = mate.(v) in
+      touch mv;
+      in_blossom_stamp.(base.(v)) <- !blossom_epoch;
+      in_blossom_stamp.(base.(mv)) <- !blossom_epoch;
       parent.(v) <- child;
-      mark_path parent.(mate.(v)) b mate.(v)
+      mark_path parent.(mv) b mv
     end
   in
 
   let find_augmenting_path root =
-    Array.fill used 0 n false;
-    Array.fill parent 0 n (-1);
-    for i = 0 to n - 1 do
-      base.(i) <- i
-    done;
+    incr epoch;
+    n_touched := 0;
+    qhead := 0;
+    qtail := 0;
+    touch root;
     used.(root) <- true;
-    Queue.clear queue;
-    Queue.add root queue;
-    let augment_end = ref (-1) in
-    while !augment_end < 0 && not (Queue.is_empty queue) do
-      let v = Queue.pop queue in
-      let nbrs = Graph.neighbors g v in
-      let i = ref 0 in
-      while !augment_end < 0 && !i < Array.length nbrs do
-        let w = nbrs.(!i) in
-        incr i;
-        if base.(v) <> base.(w) && mate.(v) <> w then begin
-          if w = root || (mate.(w) >= 0 && parent.(mate.(w)) >= 0) then begin
-            (* An odd cycle: contract the blossom. *)
-            Obs.incr c_contractions;
-            let cur_base = lowest_common_ancestor v w in
-            Array.fill in_blossom 0 n false;
-            mark_path v cur_base w;
-            mark_path w cur_base v;
-            for u = 0 to n - 1 do
-              if in_blossom.(base.(u)) then begin
-                base.(u) <- cur_base;
-                if not used.(u) then begin
-                  used.(u) <- true;
-                  Queue.add u queue
-                end
+    enqueue root;
+    try
+      while !qhead < !qtail do
+        let v = queue.(!qhead) in
+        incr qhead;
+        Graph.iter_neighbors g v ~f:(fun w ->
+            touch w;
+            if base.(v) <> base.(w) && mate.(v) <> w then
+              if
+                w = root
+                || mate.(w) >= 0
+                   &&
+                   let mw = mate.(w) in
+                   touch mw;
+                   parent.(mw) >= 0
+              then begin
+                (* An odd cycle: contract the blossom. *)
+                Obs.incr c_contractions;
+                let cur_base = lowest_common_ancestor v w in
+                incr blossom_epoch;
+                mark_path v cur_base w;
+                mark_path w cur_base v;
+                let i = ref 0 in
+                while !i < !n_touched do
+                  let u = touched.(!i) in
+                  if in_blossom_stamp.(base.(u)) = !blossom_epoch then begin
+                    base.(u) <- cur_base;
+                    if not used.(u) then begin
+                      used.(u) <- true;
+                      enqueue u
+                    end
+                  end;
+                  incr i
+                done
               end
-            done
-          end
-          else if parent.(w) < 0 then begin
-            parent.(w) <- v;
-            if mate.(w) < 0 then augment_end := w
-            else begin
-              used.(mate.(w)) <- true;
-              Queue.add mate.(w) queue
-            end
-          end
-        end
-      done
-    done;
-    !augment_end
+              else if parent.(w) < 0 then begin
+                parent.(w) <- v;
+                if mate.(w) < 0 then raise (Found w)
+                else begin
+                  let mw = mate.(w) in
+                  touch mw;
+                  used.(mw) <- true;
+                  enqueue mw
+                end
+              end)
+      done;
+      -1
+    with Found w -> w
   in
 
   let augment last =
@@ -109,7 +181,7 @@ let max_matching g =
     flip last
   in
 
-  let size = ref 0 in
+  let size = ref !seeds in
   for v = 0 to n - 1 do
     if mate.(v) < 0 then begin
       let last = find_augmenting_path v in

@@ -9,9 +9,13 @@ let minimum g =
   let { Blossom.mate; edges; _ } = Blossom.max_matching g in
   let extra = ref [] in
   for v = 0 to Graph.n g - 1 do
-    if mate.(v) < 0 then
-      (* Any incident edge covers the unmatched vertex. *)
-      extra := (Graph.incident_edges g v).(0) :: !extra
+    if mate.(v) < 0 then begin
+      (* Any incident edge covers the unmatched vertex; the first one
+         in the CSR row will do, without copying the row. *)
+      let first = ref (-1) in
+      Graph.iter_incident g v ~f:(fun _ id -> if !first < 0 then first := id);
+      extra := !first :: !extra
+    end
   done;
   edges @ !extra
 

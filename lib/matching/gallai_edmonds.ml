@@ -27,9 +27,8 @@ let decompose g =
   let in_a = Array.make n false in
   for v = 0 to n - 1 do
     if in_d.(v) then
-      Array.iter
-        (fun w -> if not in_d.(w) then in_a.(w) <- true)
-        (Graph.neighbors g v)
+      Graph.iter_neighbors g v ~f:(fun w ->
+          if not in_d.(w) then in_a.(w) <- true)
   done;
   let collect pred =
     let out = ref [] in

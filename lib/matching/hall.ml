@@ -45,13 +45,11 @@ let check g ~vc =
     while not (Queue.is_empty queue) do
       let v = Queue.pop queue in
       if in_vc.(v) then
-        Array.iter
-          (fun w ->
+        Graph.iter_neighbors g v ~f:(fun w ->
             if (not in_vc.(w)) && mate.(v) <> w && not reached.(w) then begin
               reached.(w) <- true;
               Queue.add w queue
             end)
-          (Graph.neighbors g v)
       else if mate.(v) >= 0 && not reached.(mate.(v)) then begin
         reached.(mate.(v)) <- true;
         Queue.add mate.(v) queue

@@ -30,74 +30,113 @@ let max_matching g ~left ~right =
   let side = validate_sides g ~left ~right in
   let lefts = Array.of_list left in
   let nl = Array.length lefts in
-  (* Crossing adjacency, left-indexed: (right graph-vertex, edge id). *)
-  let adj =
-    Array.map
-      (fun v ->
-        Graph.incident_edges g v
-        |> Array.to_list
-        |> List.filter_map (fun id ->
-               let w = Graph.opposite g id v in
-               if side.(w) = 2 then Some (w, id) else None)
-        |> Array.of_list)
-      lefts
-  in
+  (* Crossing adjacency, left-indexed, packed flat: the right graph
+     vertices reachable from left slot i are
+     lnbr.(loff.(i)) .. lnbr.(loff.(i+1) - 1), in increasing order
+     (inherited from the CSR rows). *)
+  let loff = Array.make (nl + 1) 0 in
+  Array.iteri
+    (fun i v ->
+      loff.(i + 1) <-
+        Graph.fold_neighbors g v ~init:0 ~f:(fun acc w ->
+            if side.(w) = 2 then acc + 1 else acc))
+    lefts;
+  for i = 1 to nl do
+    loff.(i) <- loff.(i) + loff.(i - 1)
+  done;
+  let lnbr = Array.make (max loff.(nl) 1) 0 in
+  Array.iteri
+    (fun i v ->
+      let k = ref loff.(i) in
+      Graph.iter_neighbors g v ~f:(fun w ->
+          if side.(w) = 2 then begin
+            lnbr.(!k) <- w;
+            incr k
+          end))
+    lefts;
   let mate = Array.make (Graph.n g) (-1) in
-  let dist = Array.make nl inf in
-  let queue = Queue.create () in
-  (* BFS over left vertices through alternating paths; returns true if some
-     free right vertex is reachable. *)
+  let dist = Array.make (max nl 1) inf in
   let left_index = Array.make (Graph.n g) (-1) in
   Array.iteri (fun i v -> left_index.(v) <- i) lefts;
+  let queue = Array.make (max nl 1) 0 in
+  (* BFS over left slots through alternating paths; returns true if
+     some free right vertex is reachable. *)
   let bfs () =
-    Queue.clear queue;
+    let head = ref 0 and tail = ref 0 in
     let reachable_free = ref false in
     Array.iteri
       (fun i v ->
         if mate.(v) < 0 then begin
           dist.(i) <- 0;
-          Queue.add i queue
+          queue.(!tail) <- i;
+          incr tail
         end
         else dist.(i) <- inf)
       lefts;
-    while not (Queue.is_empty queue) do
-      let i = Queue.pop queue in
-      Array.iter
-        (fun (w, _) ->
-          match mate.(w) with
-          | -1 -> reachable_free := true
-          | partner ->
-              let j = left_index.(partner) in
-              if dist.(j) = inf then begin
-                dist.(j) <- dist.(i) + 1;
-                Queue.add j queue
-              end)
-        adj.(i)
+    while !head < !tail do
+      let i = queue.(!head) in
+      incr head;
+      for k = loff.(i) to loff.(i + 1) - 1 do
+        let w = lnbr.(k) in
+        match mate.(w) with
+        | -1 -> reachable_free := true
+        | partner ->
+            let j = left_index.(partner) in
+            if dist.(j) = inf then begin
+              dist.(j) <- dist.(i) + 1;
+              queue.(!tail) <- j;
+              incr tail
+            end
+      done
     done;
     !reachable_free
   in
-  let rec dfs i =
-    let found = ref false in
-    let row = adj.(i) in
-    let k = ref 0 in
-    while (not !found) && !k < Array.length row do
-      let w, _ = row.(!k) in
-      incr k;
-      let extendable =
+  (* Depth-first augmentation along dist-increasing layers, on explicit
+     stacks: frame t examines left slot stack_i.(t), with stack_w.(t)
+     the right vertex it is currently trying and ptr.(i) the scan
+     cursor into row i (reset on push, exactly like the recursive
+     formulation that re-scans the row on every call).  An alternating
+     path visits each left slot at most once, so depth is bounded by
+     nl — no OCaml stack frames, no overflow at 10^6 vertices. *)
+  let ptr = Array.make (max nl 1) 0 in
+  let stack_i = Array.make (max nl 1) 0 in
+  let stack_w = Array.make (max nl 1) 0 in
+  let dfs i0 =
+    let sp = ref 0 in
+    stack_i.(0) <- i0;
+    ptr.(i0) <- loff.(i0);
+    (* 0 = running, 1 = augmented, 2 = failed *)
+    let result = ref 0 in
+    while !result = 0 do
+      let i = stack_i.(!sp) in
+      if ptr.(i) < loff.(i + 1) then begin
+        let w = lnbr.(ptr.(i)) in
+        ptr.(i) <- ptr.(i) + 1;
+        stack_w.(!sp) <- w;
         match mate.(w) with
-        | -1 -> true
+        | -1 ->
+            (* Free right vertex: flip mates along the whole stack. *)
+            for t = !sp downto 0 do
+              let it = stack_i.(t) and wt = stack_w.(t) in
+              mate.(wt) <- lefts.(it);
+              mate.(lefts.(it)) <- wt
+            done;
+            result := 1
         | partner ->
             let j = left_index.(partner) in
-            dist.(j) = dist.(i) + 1 && dfs j
-      in
-      if extendable then begin
-        mate.(w) <- lefts.(i);
-        mate.(lefts.(i)) <- w;
-        found := true
+            if dist.(j) = dist.(i) + 1 then begin
+              incr sp;
+              stack_i.(!sp) <- j;
+              ptr.(j) <- loff.(j)
+            end
+      end
+      else begin
+        (* Row exhausted: this slot is a dead end for the phase. *)
+        dist.(i) <- inf;
+        if !sp = 0 then result := 2 else decr sp
       end
     done;
-    if not !found then dist.(i) <- inf;
-    !found
+    !result = 1
   in
   let size = ref 0 in
   while bfs () do

@@ -30,13 +30,11 @@ let solve g =
       while not (Queue.is_empty queue) do
         let v = Queue.pop queue in
         if is_left.(v) then
-          Array.iter
-            (fun w ->
+          Graph.iter_neighbors g v ~f:(fun w ->
               if mate.(v) <> w && not reached.(w) then begin
                 reached.(w) <- true;
                 Queue.add w queue
               end)
-            (Graph.neighbors g v)
         else if mate.(v) >= 0 && not reached.(mate.(v)) then begin
           reached.(mate.(v)) <- true;
           Queue.add mate.(v) queue

@@ -29,7 +29,7 @@ let greedy_independent_set g =
       (fun v ->
         if blocked.(v) then false
         else begin
-          Array.iter (fun w -> blocked.(w) <- true) (Graph.neighbors g v);
+          Graph.iter_neighbors g v ~f:(fun w -> blocked.(w) <- true);
           true
         end)
       order

@@ -71,6 +71,101 @@ let test_equal () =
   Alcotest.(check bool) "equal up to orientation/order" true (Graph.equal a b);
   Alcotest.(check bool) "different edges" false (Graph.equal a c)
 
+let test_builder () =
+  let bd = Graph.Builder.create ~edges_hint:1 ~n:5 () in
+  Alcotest.(check int) "vertex count" 5 (Graph.Builder.vertex_count bd);
+  Alcotest.(check int) "edge count empty" 0 (Graph.Builder.edge_count bd);
+  (* past the hint, forcing the growable arrays to double *)
+  List.iter
+    (fun (u, v) -> Graph.Builder.add_edge bd u v)
+    [ (3, 0); (0, 1); (4, 1); (2, 3) ];
+  Alcotest.(check int) "edge count" 4 (Graph.Builder.edge_count bd);
+  let g = Graph.Builder.finish bd in
+  Alcotest.(check bool) "same graph as make" true
+    (Graph.equal g (Graph.make ~n:5 [ (0, 3); (0, 1); (1, 4); (2, 3) ]));
+  (* insertion order is preserved as edge ids, orientation normalized *)
+  Alcotest.(check (pair int int)) "edge 0" (0, 3) (Graph.endpoints g 0);
+  Alcotest.(check (pair int int)) "edge 2" (1, 4) (Graph.endpoints g 2);
+  Alcotest.check_raises "builder self-loop"
+    (Invalid_argument "Graph.make: self-loop at 2") (fun () ->
+      Graph.Builder.add_edge (Graph.Builder.create ~n:3 ()) 2 2);
+  Alcotest.check_raises "builder range"
+    (Invalid_argument "Graph.make: endpoint out of range (3,1)") (fun () ->
+      Graph.Builder.add_edge (Graph.Builder.create ~n:3 ()) 3 1);
+  Alcotest.check_raises "builder duplicate"
+    (Invalid_argument "Graph.make: duplicate edge (1,2)") (fun () ->
+      let bd = Graph.Builder.create ~n:3 () in
+      Graph.Builder.add_edge bd 1 2;
+      Graph.Builder.add_edge bd 2 1;
+      ignore (Graph.Builder.finish bd))
+
+let test_iterators_match_copies () =
+  let g = Graph.make ~n:6 [ (0, 1); (0, 2); (1, 2); (2, 3); (3, 4); (1, 4) ] in
+  for v = 0 to Graph.n g - 1 do
+    let seen = ref [] in
+    Graph.iter_neighbors g v ~f:(fun w -> seen := w :: !seen);
+    Alcotest.(check (array int))
+      (Printf.sprintf "iter_neighbors %d" v)
+      (Graph.neighbors g v)
+      (Array.of_list (List.rev !seen));
+    let ids = ref [] in
+    Graph.iter_incident g v ~f:(fun w id ->
+        Alcotest.(check int) "incident pairs" w (Graph.opposite g id v);
+        ids := id :: !ids);
+    Alcotest.(check (array int))
+      (Printf.sprintf "iter_incident %d" v)
+      (Graph.incident_edges g v)
+      (Array.of_list (List.rev !ids));
+    Alcotest.(check int)
+      (Printf.sprintf "fold_neighbors %d" v)
+      (Array.fold_left ( + ) 0 (Graph.neighbors g v))
+      (Graph.fold_neighbors g v ~init:0 ~f:( + ));
+    Alcotest.(check int)
+      (Printf.sprintf "fold_incident %d" v)
+      (Array.fold_left ( + ) 0 (Graph.incident_edges g v))
+      (Graph.fold_incident g v ~init:0 ~f:(fun acc _ id -> acc + id))
+  done;
+  Graph.iter_edges g ~f:(fun id e ->
+      Alcotest.(check int) "edge_u" e.Graph.u (Graph.edge_u g id);
+      Alcotest.(check int) "edge_v" e.Graph.v (Graph.edge_v g id))
+
+(* Int_sort backs the CSR build; gate it against the stdlib sort. *)
+let test_int_sort () =
+  let r = rng () in
+  List.iter
+    (fun n ->
+      let a = Array.init n (fun _ -> Prng.Rng.int r 50) in
+      let expect = Array.copy a in
+      Array.sort Int.compare expect;
+      Int_sort.sort a;
+      Alcotest.(check (array int)) (Printf.sprintf "sort n=%d" n) expect a)
+    [ 0; 1; 2; 3; 15; 16; 17; 100; 1000; 5000 ];
+  (* adversarial shapes for the introsort's quicksort phase *)
+  List.iter
+    (fun (name, a) ->
+      let expect = Array.copy a in
+      Array.sort Int.compare expect;
+      Int_sort.sort a;
+      Alcotest.(check (array int)) name expect a)
+    [
+      ("sorted", Array.init 1000 Fun.id);
+      ("reversed", Array.init 1000 (fun i -> 999 - i));
+      ("constant", Array.make 1000 7);
+      ("organ pipe", Array.init 1000 (fun i -> min i (999 - i)));
+    ];
+  (* sort_pairs: payload follows its key *)
+  let keys = Array.init 2000 (fun _ -> Prng.Rng.int r 10_000_000) in
+  let payload = Array.mapi (fun i k -> (k lsl 11) lor i) keys in
+  Int_sort.sort_pairs keys payload;
+  Alcotest.(check bool) "keys sorted" true
+    (Array.for_all Fun.id (Array.init 1999 (fun i -> keys.(i) <= keys.(i + 1))));
+  Alcotest.(check bool) "payload rides its key" true
+    (Array.for_all Fun.id
+       (Array.init 2000 (fun i -> payload.(i) lsr 11 = keys.(i))));
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Int_sort.sort_pairs: length mismatch") (fun () ->
+      Int_sort.sort_pairs (Array.make 2 0) (Array.make 3 0))
+
 (* Generators *)
 
 let check_summary name g ~n ~m ~connected ~bipartite =
@@ -142,6 +237,62 @@ let test_enterprise () =
     Alcotest.(check int) "leaf degree" 2 (Graph.degree g leaf)
   done
 
+(* Scalable generators (the BigGraph tier's instances, tested small). *)
+
+let test_preferential_attachment () =
+  let r = rng () in
+  List.iter
+    (fun (n, c) ->
+      let g = Gen.preferential_attachment r ~n ~c in
+      (* m = 1 + sum_{i=2}^{n-1} min(c, i): each arrival adds min(c, i)
+         distinct earlier targets. *)
+      let expect =
+        let s = ref 1 in
+        for i = 2 to n - 1 do
+          s := !s + min c i
+        done;
+        !s
+      in
+      Alcotest.(check int) (Printf.sprintf "PA n=%d c=%d edges" n c) expect
+        (Graph.m g);
+      Alcotest.(check bool) "PA connected" true (Traverse.is_connected g))
+    [ (50, 1); (200, 2); (100, 3) ];
+  (* c = 1 grows a random recursive tree: m = n - 1 *)
+  Alcotest.(check int) "PA tree" 49 (Graph.m (Gen.preferential_attachment r ~n:50 ~c:1))
+
+let test_chung_lu () =
+  let r = rng () in
+  let n = 4000 in
+  let g = Gen.chung_lu r ~n ~gamma:2.5 ~avg_degree:4.0 in
+  Alcotest.(check int) "n" n (Graph.n g);
+  let mean = 2.0 *. float_of_int (Graph.m g) /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean degree %.2f near target" mean)
+    true
+    (mean > 2.0 && mean < 6.0);
+  (* power-law skew: the hub outweighs the mean by a wide margin *)
+  let maxd =
+    Graph.fold_vertices g ~init:0 ~f:(fun acc v -> max acc (Graph.degree g v))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "heavy tail (max degree %d)" maxd)
+    true
+    (float_of_int maxd > 5.0 *. mean)
+
+let test_random_bipartite_sparse () =
+  let r = rng () in
+  List.iter
+    (fun (a, b, d) ->
+      let g = Gen.random_bipartite_sparse r ~a ~b ~d in
+      Alcotest.(check int) "exactly a*d edges" (a * d) (Graph.m g);
+      Graph.iter_edges g ~f:(fun _ e ->
+          Alcotest.(check bool) "edge crosses the sides" true
+            (e.Graph.u < a && e.Graph.v >= a));
+      for u = 0 to a - 1 do
+        Alcotest.(check int) "left degree d" d (Graph.degree g u)
+      done)
+    [ (40, 60, 3); (10, 12, 8); (5, 5, 5) ]
+
 (* Traversal *)
 
 let test_bfs_dfs () =
@@ -165,6 +316,15 @@ let test_components () =
     (Traverse.components g);
   Alcotest.(check bool) "not connected" false (Traverse.is_connected g);
   Alcotest.(check bool) "path connected" true (Traverse.is_connected (Gen.path 3))
+
+let test_dfs_deep_path () =
+  (* Regression: the recursive dfs_order overflowed the stack near
+     n = 10^5 on a path; the explicit-stack version must not. *)
+  let n = 200_000 in
+  let order = Traverse.dfs_order (Gen.path n) 0 in
+  Alcotest.(check int) "visits everything" n (List.length order);
+  Alcotest.(check (list int)) "preorder prefix" [ 0; 1; 2; 3 ]
+    (List.filteri (fun i _ -> i < 4) order)
 
 let test_shortest_path () =
   let g = Gen.cycle 6 in
@@ -329,6 +489,56 @@ let props =
         let d = Traverse.distances g 0 in
         Graph.fold_edges g ~init:true ~f:(fun acc _ e ->
             acc && abs (d.(e.Graph.u) - d.(e.Graph.v)) <= 1));
+    (* CSR vs a naive reference model built from the same edge list:
+       the packed representation must be observationally identical. *)
+    QCheck.Test.make ~name:"CSR agrees with the reference model" ~count:100
+      graph_gen (fun g ->
+        let n = Graph.n g in
+        let adj = Array.make n [] in
+        Graph.iter_edges g ~f:(fun id e ->
+            adj.(e.Graph.u) <- (e.Graph.v, id) :: adj.(e.Graph.u);
+            adj.(e.Graph.v) <- (e.Graph.u, id) :: adj.(e.Graph.v));
+        let adj = Array.map (List.sort compare) adj in
+        let ok = ref true in
+        for v = 0 to n - 1 do
+          ok := !ok && Graph.degree g v = List.length adj.(v);
+          ok :=
+            !ok
+            && Array.to_list (Graph.neighbors g v) = List.map fst adj.(v)
+            && Array.to_list (Graph.incident_edges g v) = List.map snd adj.(v);
+          for w = 0 to n - 1 do
+            ok :=
+              !ok
+              && Graph.find_edge g v w
+                 = Option.map snd (List.find_opt (fun (x, _) -> x = w) adj.(v))
+          done
+        done;
+        !ok);
+    QCheck.Test.make ~name:"non-allocating iterators agree with copies"
+      ~count:100 graph_gen (fun g ->
+        let ok = ref true in
+        for v = 0 to Graph.n g - 1 do
+          let ns = ref [] and ids = ref [] in
+          Graph.iter_neighbors g v ~f:(fun w -> ns := w :: !ns);
+          Graph.iter_incident g v ~f:(fun w id ->
+              ok := !ok && Graph.opposite g id v = w;
+              ids := id :: !ids);
+          ok :=
+            !ok
+            && List.rev !ns = Array.to_list (Graph.neighbors g v)
+            && List.rev !ids = Array.to_list (Graph.incident_edges g v)
+            && Graph.fold_neighbors g v ~init:0 ~f:( + )
+               = Array.fold_left ( + ) 0 (Graph.neighbors g v)
+        done;
+        !ok);
+    QCheck.Test.make ~name:"rebuild from edges is equal" ~count:100 graph_gen
+      (fun g ->
+        let edges =
+          List.rev
+            (Graph.fold_edges g ~init:[] ~f:(fun acc _ e ->
+                 (e.Graph.v, e.Graph.u) :: acc))
+        in
+        Graph.equal g (Graph.make ~n:(Graph.n g) edges));
   ]
 
 let () =
@@ -343,6 +553,9 @@ let () =
           Alcotest.test_case "neighborhood" `Quick test_neighborhood;
           Alcotest.test_case "edge subgraph" `Quick test_edge_subgraph;
           Alcotest.test_case "equality" `Quick test_equal;
+          Alcotest.test_case "builder" `Quick test_builder;
+          Alcotest.test_case "iterators vs copies" `Quick test_iterators_match_copies;
+          Alcotest.test_case "int sort" `Quick test_int_sort;
         ] );
       ( "generators",
         [
@@ -353,11 +566,17 @@ let () =
           Alcotest.test_case "random bipartite" `Quick test_random_bipartite;
           Alcotest.test_case "random regular" `Quick test_random_regular;
           Alcotest.test_case "enterprise" `Quick test_enterprise;
+          Alcotest.test_case "preferential attachment" `Quick
+            test_preferential_attachment;
+          Alcotest.test_case "chung-lu" `Quick test_chung_lu;
+          Alcotest.test_case "sparse bipartite" `Quick
+            test_random_bipartite_sparse;
         ] );
       ( "traversal",
         [
           Alcotest.test_case "bfs/dfs" `Quick test_bfs_dfs;
           Alcotest.test_case "distances" `Quick test_distances;
+          Alcotest.test_case "deep path dfs" `Quick test_dfs_deep_path;
           Alcotest.test_case "components" `Quick test_components;
           Alcotest.test_case "shortest path" `Quick test_shortest_path;
         ] );

@@ -35,9 +35,9 @@ let test_graph6_large_n_form () =
   Alcotest.(check int) "marker 126" 126 (Char.code encoded.[0]);
   Alcotest.(check bool) "roundtrip" true (Graph.equal g (Graph6.decode encoded))
 
-(* Rewrite an encoding's size header into the "~~" 36-bit long form
-   (the encoder never emits it — n is capped well below 2^18 — but the
-   decoder must accept it: nauty writes it for huge graphs). *)
+(* Rewrite an encoding's size header into the "~~" 36-bit long form by
+   hand; [encode ~force_long:true] must agree with this mechanical
+   rewrite, and the decoder must accept both. *)
 let to_long_form encoded =
   let n, data_start =
     let b i = Char.code encoded.[i] - 63 in
@@ -63,7 +63,93 @@ let test_graph6_long_form () =
         (name ^ " long-form decode")
         true
         (Graph.equal g (Graph6.decode (to_long_form (Graph6.encode g)))))
-    [ ("C100", Gen.cycle 100) ]
+    [ ("C100", Gen.cycle 100) ];
+  (* the encoder's own 36-bit form: byte-identical to the mechanical
+     header rewrite, and a round trip *)
+  Alcotest.(check string) "force_long K2" "~~?????A_"
+    (Graph6.encode ~force_long:true (Gen.path 2));
+  List.iter
+    (fun (name, g) ->
+      let s = Graph6.encode ~force_long:true g in
+      Alcotest.(check string)
+        (name ^ " force_long = rewritten header")
+        (to_long_form (Graph6.encode g))
+        s;
+      Alcotest.(check bool)
+        (name ^ " force_long roundtrip")
+        true
+        (Graph.equal g (Graph6.decode s)))
+    [ ("K2", Gen.path 2); ("C100", Gen.cycle 100); ("K5", Gen.complete 5) ]
+
+(* --- sparse6 --- *)
+
+let test_sparse6_roundtrip () =
+  List.iter
+    (fun (name, g) ->
+      let s = Graph6.encode_sparse6 g in
+      Alcotest.(check bool) (name ^ " has ':' prefix") true (s.[0] = ':');
+      Alcotest.(check bool)
+        (name ^ " sparse6 roundtrip")
+        true
+        (Graph.equal g (Graph6.decode s)))
+    (Gen.atlas_small ()
+    @ [
+        (* power-of-two n exercises nauty's special padding rule when
+           vertex n-2 is in play *)
+        ("C4", Gen.cycle 4);
+        ("C8", Gen.cycle 8);
+        ("P8", Gen.path 8);
+        ("star8", Gen.star 8);
+        ("K8", Gen.complete 8);
+        ("grid4x4", Gen.grid 4 4);
+        ("edgeless", Graph.make ~n:7 []);
+        ("K1", Graph.make ~n:1 []);
+        ("last pair only", Graph.make ~n:16 [ (14, 15) ]);
+      ])
+
+let test_sparse6_huge_header () =
+  (* n = 300000 needs the 36-bit size header but only a handful of
+     edges: exactly the sparse6 use case the graph6 matrix form cannot
+     touch. *)
+  let n = 300_000 in
+  let g = Graph.make ~n [ (0, 1); (0, 299_999); (299_998, 299_999) ] in
+  let s = Graph6.encode_sparse6 g in
+  Alcotest.(check bool) "36-bit header" true
+    (String.length s >= 8 && s.[1] = '~' && s.[2] = '~');
+  Alcotest.(check bool) "roundtrip" true (Graph.equal g (Graph6.decode s))
+
+let test_sparse6_rejects_malformed () =
+  Alcotest.check_raises "graph6 passed to sparse6"
+    (Invalid_argument "Graph6.decode: sparse6 input must start with ':'")
+    (fun () -> ignore (Graph6.decode_sparse6 "A_"));
+  (* ':A' then bits 00 (b=0, x=0 with v=0) encodes the self-loop (0,0) *)
+  Alcotest.check_raises "self-loop"
+    (Invalid_argument "Graph6.decode: sparse6 self-loop") (fun () ->
+      ignore (Graph6.decode ":AN"));
+  Alcotest.check_raises "truncated size"
+    (Invalid_argument "Graph6.decode: truncated input") (fun () ->
+      ignore (Graph6.decode ":~~???"))
+
+let sparse6_props =
+  let gen =
+    QCheck.make
+      (QCheck.Gen.map
+         (fun seed ->
+           let r = Prng.Rng.create seed in
+           Gen.gnp r ~n:(1 + Prng.Rng.int r 40) ~p:0.15)
+         QCheck.Gen.int)
+  in
+  [
+    QCheck.Test.make ~name:"sparse6 roundtrip on random graphs" ~count:200 gen
+      (fun g -> Graph.equal g (Graph6.decode (Graph6.encode_sparse6 g)));
+    QCheck.Test.make ~name:"sparse6 output is printable ASCII" ~count:100 gen
+      (fun g ->
+        let s = Graph6.encode_sparse6 g in
+        s.[0] = ':'
+        && String.for_all
+             (fun c -> Char.code c >= 63 && Char.code c <= 126)
+             (String.sub s 1 (String.length s - 1)));
+  ]
 
 let test_graph6_rejects_malformed () =
   Alcotest.check_raises "empty" (Invalid_argument "Graph6.decode: empty input")
@@ -229,6 +315,13 @@ let () =
           Alcotest.test_case "long form (~~)" `Quick test_graph6_long_form;
           Alcotest.test_case "rejects malformed" `Quick test_graph6_rejects_malformed;
         ] );
+      ( "sparse6",
+        [
+          Alcotest.test_case "roundtrip families" `Quick test_sparse6_roundtrip;
+          Alcotest.test_case "huge header" `Quick test_sparse6_huge_header;
+          Alcotest.test_case "rejects malformed" `Quick
+            test_sparse6_rejects_malformed;
+        ] );
       ( "weighted",
         [
           Alcotest.test_case "validation" `Quick test_weighted_validation;
@@ -240,5 +333,5 @@ let () =
         ] );
       ( "properties",
         List.map (QCheck_alcotest.to_alcotest ~verbose:false)
-          (graph6_props @ weighted_props) );
+          (graph6_props @ sparse6_props @ weighted_props) );
     ]
