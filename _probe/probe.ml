@@ -1,0 +1,63 @@
+open Netgraph
+let () =
+  let rng = Prng.Rng.create 42 in
+  (* sparse6 round-trip including power-of-two padding corner *)
+  for n = 0 to 40 do
+    for _trial = 0 to 20 do
+      let edges = ref [] in
+      for u = 0 to n-1 do
+        for v = u+1 to n-1 do
+          if Rng.int rng 3 = 0 then edges := (u,v) :: !edges
+        done
+      done;
+      let g = Graph.make ~n !edges in
+      let s = Graph6.encode_sparse6 g in
+      let g' = Graph6.decode s in
+      if not (Graph.equal g g') then (Printf.printf "SPARSE6 FAIL n=%d %s\n" n s; exit 1);
+      let d = Graph6.decode (Graph6.encode g) in
+      if not (Graph.equal g d) then (Printf.printf "G6 FAIL n=%d\n" n; exit 1);
+      let dl = Graph6.decode (Graph6.encode ~force_long:true g) in
+      if not (Graph.equal g dl) then (Printf.printf "G6LONG FAIL n=%d\n" n; exit 1)
+    done
+  done;
+  (* int_sort vs stdlib on adversarial patterns *)
+  let check a =
+    let b = Array.copy a in
+    Array.sort compare b;
+    Int_sort.sort a;
+    if a <> b then (print_endline "SORT FAIL"; exit 1)
+  in
+  check (Array.init 1000 (fun i -> i));
+  check (Array.init 1000 (fun i -> -i));
+  check (Array.init 1000 (fun i -> i mod 7));
+  check (Array.init 10000 (fun _ -> Rng.int rng 1000000));
+  (* sort_pairs permutation consistency *)
+  let keys = Array.init 5000 (fun _ -> Rng.int rng 1000000000) in
+  let pay = Array.init 5000 (fun i -> i) in
+  let orig = Array.copy keys in
+  Int_sort.sort_pairs keys pay;
+  Array.iteri (fun i k -> if orig.(pay.(i)) <> k then (print_endline "PAIR FAIL"; exit 1)) keys;
+  (* blossom vs brute small graphs: use matching sizes vs hopcroft on bipartite *)
+  for _ = 0 to 200 do
+    let n = 2 + Rng.int rng 9 in
+    let edges = ref [] in
+    for u = 0 to n-1 do for v = u+1 to n-1 do
+      if Rng.int rng 2 = 0 then edges := (u,v) :: !edges done done;
+    let g = Graph.make ~n !edges in
+    let mu = Matching.Blossom.matching_number g in
+    (* brute force max matching *)
+    let m = Graph.m g in
+    let best = ref 0 in
+    let rec go id used cnt =
+      if id = m then (if cnt > !best then best := cnt)
+      else begin
+        go (id+1) used cnt;
+        let u = Graph.edge_u g id and v = Graph.edge_v g id in
+        if not (List.mem u used || List.mem v used) then
+          go (id+1) (u::v::used) (cnt+1)
+      end
+    in
+    go 0 [] 0;
+    if mu <> !best then (Printf.printf "BLOSSOM FAIL n=%d mu=%d best=%d\n" n mu !best; exit 1)
+  done;
+  print_endline "ALL PROBES OK"
