@@ -1,0 +1,166 @@
+(* End-to-end daemon session under `dune runtest` (@bench-smoke): fork
+   the real defender service on a temp Unix socket, then script the
+   canonical lifecycle against it —
+
+     ping -> cold solve -> identical warm re-query (cache hit,
+     byte-identical payload) -> relabeled-graph re-query (hit under the
+     canonical key) -> malformed frame (error + closed connection,
+     server survives) -> shutdown op (graceful drain, exit 0)
+
+   — gating the exact counter values the protocol promises at each
+   step.  Any mismatch prints a diagnostic and exits 1, failing the
+   alias. *)
+
+module J = Harness.Json
+module D = Harness.Daemon
+
+let failures = ref 0
+
+let check label ok =
+  if not ok then begin
+    incr failures;
+    Printf.printf "daemon_smoke FAIL: %s\n" label
+  end
+
+let field name j =
+  match J.member name j with
+  | Some v -> v
+  | None ->
+      check (Printf.sprintf "response lacks %S in %s" name (J.to_string j))
+        false;
+      J.Null
+
+let metric name j =
+  match J.member name (field "metrics" j) with
+  | Some (J.Int v) -> v
+  | _ -> -1
+
+let counters label j ~requests ~hits ~busy =
+  check
+    (Printf.sprintf "%s: counters (%d,%d,%d), wanted (%d,%d,%d)" label
+       (metric "daemon.requests" j)
+       (metric "daemon.cache_hits" j)
+       (metric "daemon.busy_rejects" j)
+       requests hits busy)
+    (metric "daemon.requests" j = requests
+    && metric "daemon.cache_hits" j = hits
+    && metric "daemon.busy_rejects" j = busy)
+
+let () =
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "defender_smoke_%d.sock" (Unix.getpid ()))
+  in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+      (try
+         ignore
+           (Service.Daemon_service.serve ~address:(D.Unix_socket path)
+              ~workers:2 ())
+       with _ -> Unix._exit 2);
+      Unix._exit 0
+  | daemon ->
+      let finished = ref false in
+      Fun.protect ~finally:(fun () ->
+          if not !finished then begin
+            (try Unix.kill daemon Sys.sigkill with Unix.Unix_error _ -> ());
+            ignore (Harness.Wire.waitpid_retry daemon)
+          end;
+          try Unix.unlink path with Unix.Unix_error _ -> ())
+      @@ fun () ->
+      let conn = D.Client.connect ~retries:100 (D.Unix_socket path) in
+      let ask msg =
+        match D.Client.request conn msg with
+        | Ok r -> r
+        | Error e ->
+            check ("request failed: " ^ e) false;
+            J.Null
+      in
+      (* 1. ping *)
+      let r = ask (J.Obj [ ("id", J.Int 1); ("op", J.String "ping") ]) in
+      check "ping ok" (field "ok" r = J.Bool true);
+      check "pong" (field "result" r = J.String "pong");
+      counters "ping" r ~requests:1 ~hits:0 ~busy:0;
+      (* 2. cold solve: path 6, k=2, nu=3 (gain = k*nu/|IS| = 2) *)
+      let g = Netgraph.Gen.path 6 in
+      let solve g6 =
+        J.Obj
+          [
+            ("id", J.Int 2);
+            ("op", J.String "solve");
+            ("graph6", J.String g6);
+            ("k", J.Int 2);
+            ("nu", J.Int 3);
+          ]
+      in
+      let cold = ask (solve (Netgraph.Graph6.encode g)) in
+      check "cold solve ok" (field "ok" cold = J.Bool true);
+      check "cold is a miss" (field "cached" cold = J.Bool false);
+      check "cold gain 2"
+        (J.member "gain" (field "result" cold) = Some (J.String "2"));
+      check "cold verdict confirmed"
+        (J.member "verdict" (field "result" cold)
+        = Some (J.String "confirmed"));
+      counters "cold" cold ~requests:2 ~hits:0 ~busy:0;
+      (* 3. identical warm re-query *)
+      let warm = ask (solve (Netgraph.Graph6.encode g)) in
+      check "warm is a hit" (field "cached" warm = J.Bool true);
+      check "warm payload byte-identical"
+        (J.to_string (field "result" cold) = J.to_string (field "result" warm));
+      counters "warm" warm ~requests:3 ~hits:1 ~busy:0;
+      (* 4. the same 6-path under a different labeling also hits: the
+         cache key is the canonical form, not the client's bytes *)
+      let relabeled =
+        Netgraph.Graph.make ~n:6 [ (3, 5); (5, 1); (1, 0); (0, 2); (2, 4) ]
+      in
+      let g6' = Netgraph.Graph6.encode relabeled in
+      check "relabeling changed the wire bytes"
+        (g6' <> Netgraph.Graph6.encode g);
+      let iso = ask (solve g6') in
+      check "relabeled query is a hit" (field "cached" iso = J.Bool true);
+      check "relabeled payload byte-identical"
+        (J.to_string (field "result" cold) = J.to_string (field "result" iso));
+      counters "relabeled" iso ~requests:4 ~hits:2 ~busy:0;
+      D.Client.close conn;
+      (* 5. malformed frame: diagnosed, connection dropped, server fine *)
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      let junk = "this is not a frame\n" in
+      ignore (Unix.write fd (Bytes.of_string junk) 0 (String.length junk));
+      (match Harness.Wire.read_frame fd with
+      | Some (Ok r) -> check "bad frame diagnosed" (field "ok" r = J.Bool false)
+      | _ -> check "bad frame: no diagnostic" false);
+      check "bad-frame connection closed" (Harness.Wire.read_frame fd = None);
+      Harness.Wire.close_quietly fd;
+      (* 6. graceful shutdown by op; drain must exit 0 and remove the
+         socket file *)
+      let conn2 = D.Client.connect (D.Unix_socket path) in
+      let r =
+        match D.Client.request conn2 (J.Obj [ ("op", J.String "shutdown") ]) with
+        | Ok r -> r
+        | Error e ->
+            check ("shutdown request failed: " ^ e) false;
+            J.Null
+      in
+      check "shutdown acknowledged" (field "result" r = J.String "draining");
+      D.Client.close conn2;
+      (match Harness.Wire.waitpid_retry daemon with
+      | Unix.WEXITED 0 -> ()
+      | Unix.WEXITED c ->
+          check (Printf.sprintf "daemon exited %d, wanted 0" c) false
+      | Unix.WSIGNALED s ->
+          check
+            (Printf.sprintf "daemon killed by %s" (Harness.Wire.signal_name s))
+            false
+      | Unix.WSTOPPED _ -> check "daemon stopped" false);
+      finished := true;
+      check "socket file removed on drain" (not (Sys.file_exists path));
+      if !failures > 0 then begin
+        Printf.printf "daemon_smoke: %d failure(s)\n" !failures;
+        exit 1
+      end
+      else print_endline "daemon_smoke: full session ok"

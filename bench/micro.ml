@@ -1,4 +1,4 @@
-(* B0-B17: microbenchmarks and kernel-correctness checks.
+(* B0-B18: microbenchmarks and kernel-correctness checks.
 
    B0 ports the former standalone smoke pass: exact kernel = naive
    equality assertions (payoff tables, incremental deviation chains,
@@ -39,7 +39,13 @@
    B17 gates the CSR graph substrate: construction, neighbour traversal
    and Hopcroft-Karp on the flat offset/neighbour arrays against an
    in-process copy of the seed's boxed tuple-row representation, ns per
-   edge each, with per-edge ratios gated at full scale. *)
+   edge each, with per-edge ratios gated at full scale.
+
+   B18 gates the query daemon's canonical-instance solve cache: a forked
+   daemon on a private socket answers the same solve cold then warm; the
+   warm reply must be a cache hit with a byte-identical payload, and at
+   full scale its round-trip latency must sit well below the cold
+   solve's. *)
 
 open Bechamel
 open Toolkit
@@ -1182,6 +1188,111 @@ let b17 ctx =
          (Float.is_finite r_match && r_match <= 1.10))
   end
 
+(* --- B18: the query daemon's canonical-instance solve cache --- *)
+
+(* A daemon is forked around the real defender service on a private
+   Unix socket; the same solve request is sent cold (worker computes)
+   and warm (answered from the LRU under the canonical key).  The whole
+   point of the cache is that the warm path skips the solver, so at
+   full scale the min-of-N warm round trip is gated well below the cold
+   one.  Smoke runs the same session but keeps the timing informational
+   (one round trip on loaded CI is noise); the protocol facts — hit
+   flag, byte-identical payload, counters — are checked at both
+   scales. *)
+let b18 ctx =
+  let smoke = E.is_smoke ctx in
+  let module J = Harness.Json in
+  let module D = Harness.Daemon in
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "defender_b18_%d.sock" (Unix.getpid ()))
+  in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  (* Full scale queries the B7 acceptance instance (grid 10x12): its
+     n = 120 sits above the canonical labeling's exact-search bound, so
+     the per-request key is the cheap refinement path while the solve
+     itself is substantial — the regime the cache exists for. *)
+  let g = if smoke then Netgraph.Gen.grid 3 4 else Netgraph.Gen.grid 10 12 in
+  let k = if smoke then 2 else 5 in
+  let nu = if smoke then 3 else 6 in
+  let request =
+    J.Obj
+      [
+        ("id", J.Int 0);
+        ("op", J.String "solve");
+        ("graph6", J.String (Netgraph.Graph6.encode g));
+        ("k", J.Int k);
+        ("nu", J.Int nu);
+      ]
+  in
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+      (try
+         ignore
+           (Service.Daemon_service.serve ~address:(D.Unix_socket path)
+              ~workers:1 ())
+       with _ -> Unix._exit 2);
+      Unix._exit 0
+  | daemon ->
+      Fun.protect ~finally:(fun () ->
+          (try Unix.kill daemon Sys.sigkill with Unix.Unix_error _ -> ());
+          ignore (Harness.Wire.waitpid_retry daemon);
+          try Unix.unlink path with Unix.Unix_error _ -> ())
+      @@ fun () ->
+      let conn = D.Client.connect ~retries:100 (D.Unix_socket path) in
+      Fun.protect ~finally:(fun () -> D.Client.close conn) @@ fun () ->
+      let ask () =
+        match D.Client.request conn request with
+        | Ok r -> r
+        | Error e -> failwith ("B18 request failed: " ^ e)
+      in
+      let cold, t_cold = Harness.Timer.time ask in
+      let warm_rounds = if smoke then 3 else 10 in
+      let t_warm = ref infinity in
+      let warm = ref cold in
+      for _ = 1 to warm_rounds do
+        let r, t = Harness.Timer.time ask in
+        warm := r;
+        t_warm := Float.min !t_warm t
+      done;
+      let warm = !warm and t_warm = !t_warm in
+      let get name j = J.member name j in
+      ignore
+        (E.check ctx ~label:"B18: cold solve ok, not served from cache"
+           (get "ok" cold = Some (J.Bool true)
+           && get "cached" cold = Some (J.Bool false)));
+      ignore
+        (E.check ctx ~label:"B18: warm re-query is a cache hit"
+           (get "cached" warm = Some (J.Bool true)));
+      ignore
+        (E.check ctx ~label:"B18: cached result byte-identical to cold"
+           (match (get "result" cold, get "result" warm) with
+           | Some a, Some b -> J.to_string a = J.to_string b
+           | _ -> false));
+      ignore
+        (E.check ctx ~label:"B18: daemon.cache_hits counted every warm round"
+           (match get "metrics" warm with
+           | Some m -> J.member "daemon.cache_hits" m = Some (J.Int warm_rounds)
+           | None -> false));
+      E.measure ctx "cold_solve_ns" (E.Float (t_cold *. 1e9));
+      E.measure ctx "warm_hit_ns" (E.Float (t_warm *. 1e9));
+      let ratio = if t_cold > 0.0 then t_warm /. t_cold else Float.nan in
+      E.measure ctx "warm_vs_cold" (E.Float ratio);
+      E.outf ctx
+        "B18 daemon solve round trip (grid, k=%d): cold %s, warm cache hit \
+         %s (%.3fx of cold, min of %d)\n"
+        k (human_time (t_cold *. 1e9))
+        (human_time (t_warm *. 1e9))
+        ratio warm_rounds;
+      if not smoke then
+        ignore
+          (E.check ctx
+             ~label:"B18: warm hit at most a third of the cold solve"
+             (Float.is_finite ratio && ratio < 0.34))
+
 let register () =
   let r ~id ~claim ~expected run =
     Harness.Registry.register
@@ -1267,4 +1378,13 @@ let register () =
       "construction < 1.0x, traversal <= 1.05x, matching <= 1.10x of the \
        in-process seed copy at full scale (min-of-3 interleaved, fixed \
        iterations); checksums and matching sizes equal at both scales"
-    b17
+    b17;
+  r ~id:"B18"
+    ~claim:
+      "the query daemon's canonical-instance solve cache answers a repeated \
+       solve without re-running the solver: a warm round trip is a cache \
+       hit with a byte-identical payload"
+    ~expected:
+      "cached:true with identical result bytes and exact hit counters at \
+       both scales; warm/cold latency < 0.34 at full scale (min of 10)"
+    b18

@@ -71,9 +71,25 @@ let lambda_arg =
     & info [ "lambda" ] ~docv:"LAMBDA"
         ~doc:"Defender subgraph size (subgraph game only).")
 
-let handle f = try `Ok (f ()) with
-  | Invalid_argument msg | Failure msg ->
-      `Error (false, msg)
+(* Every subcommand body runs under this wrapper.  The typed errors our
+   own layers raise — Invalid_argument (malformed graph6/profile input,
+   bad parameters), Failure (parsers, option validation), Sys_error
+   (missing or unreadable files) — are user-input problems, not bugs:
+   they print as one [error: ...] line on stderr and exit 1, never as an
+   uncaught-exception backtrace. *)
+let handle f =
+  let die msg =
+    Printf.eprintf "error: %s\n" msg;
+    exit 1
+  in
+  try `Ok (f ())
+  with
+  | Invalid_argument msg | Failure msg | Sys_error msg -> die msg
+  | Unix.Unix_error (e, fn, arg) ->
+      die
+        (Printf.sprintf "%s%s: %s" fn
+           (if arg = "" then "" else " " ^ arg)
+           (Unix.error_message e))
 
 (* Observability flags, shared by the compute-heavy subcommands: run the
    body with recording on and print the summed counter/span tables
@@ -552,6 +568,224 @@ let experiments_cmd =
        $ jobs_arg $ pool_arg $ timeout_arg $ force_crash_arg $ metrics_arg
        $ trace_arg))
 
+(* serve / query: the batch-query daemon (Harness.Daemon specialized by
+   Service.Daemon_service) and its scriptable client. *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Listen/connect on a Unix socket.")
+
+let port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"N" ~doc:"Listen/connect on a TCP port.")
+
+let host_arg =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"HOST" ~doc:"TCP host (with $(b,--port)).")
+
+let address_of socket port host =
+  match (socket, port) with
+  | Some path, None -> Harness.Daemon.Unix_socket path
+  | None, Some n -> Harness.Daemon.Tcp (host, n)
+  | Some _, Some _ -> failwith "give either --socket or --port, not both"
+  | None, None -> failwith "an address is required: --socket PATH or --port N"
+
+let serve_cmd =
+  let jobs_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "jobs" ] ~docv:"N" ~doc:"Worker processes answering queries.")
+  in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECS"
+          ~doc:
+            "Per-request budget; a worker past it is killed and the request \
+             answered with an error.")
+  in
+  let cache_arg =
+    Arg.(
+      value & opt int 1024
+      & info [ "cache-entries" ] ~docv:"M"
+          ~doc:
+            "Capacity of the canonical-instance solve cache (LRU eviction; 0 \
+             disables caching).")
+  in
+  let inflight_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:
+            "Dispatched-and-unanswered request high-water mark; past it new \
+             queries are rejected with a busy error.")
+  in
+  let run socket port host jobs timeout cache_entries max_inflight metrics trace
+      =
+    handle (fun () ->
+        with_obs ~metrics ~trace @@ fun () ->
+        let address = address_of socket port host in
+        let stats =
+          Service.Daemon_service.serve ~address ~workers:jobs ?timeout
+            ~cache_entries ~max_inflight
+            ~on_ready:(fun sa ->
+              (match sa with
+              | Unix.ADDR_UNIX path -> Printf.printf "listening on %s\n" path
+              | Unix.ADDR_INET (a, p) ->
+                  Printf.printf "listening on %s:%d\n"
+                    (Unix.string_of_inet_addr a)
+                    p);
+              flush stdout)
+            ()
+        in
+        Printf.printf
+          "drained: %d requests, %d cache hits, %d busy rejects\n"
+          stats.Harness.Daemon.requests stats.Harness.Daemon.cache_hits
+          stats.Harness.Daemon.busy_rejects)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the query daemon: a socket server answering solve/profit/\
+          equilibrium-check requests from a worker pool, with a canonical-\
+          instance solve cache (isomorphic queries share one entry).  Drains \
+          and exits on SIGTERM, SIGINT or a $(b,shutdown) request.")
+    Term.(
+      ret
+        (const run $ socket_arg $ port_arg $ host_arg $ jobs_arg $ timeout_arg
+       $ cache_arg $ inflight_arg $ metrics_arg $ trace_arg))
+
+let query_cmd =
+  let op_arg =
+    Arg.(
+      value & opt string "solve"
+      & info [ "op" ] ~docv:"OP"
+          ~doc:
+            "Request op: $(b,solve), $(b,profit), $(b,equilibrium-check), \
+             $(b,ping), $(b,stats) or $(b,shutdown).")
+  in
+  let graph6_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "graph6" ] ~docv:"G6" ~doc:"Graph as a graph6/sparse6 line.")
+  in
+  let profile_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "profile" ] ~docv:"FILE"
+          ~doc:"Saved profile to send (profit, equilibrium-check).")
+  in
+  let mode_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:"Verification mode: $(b,certificate) or $(b,exhaustive).")
+  in
+  let raw_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "request" ] ~docv:"JSON"
+          ~doc:
+            "Raw request object sent verbatim (scripting escape hatch; \
+             overrides every other request option).")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Connection attempts to retry, 50 ms apart (daemon startup).")
+  in
+  let pretty_arg =
+    Arg.(value & flag & info [ "pretty" ] ~doc:"Pretty-print the response.")
+  in
+  let read_file path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let run socket port host retries op graph6 file family seed k nu game lambda
+      profile mode raw pretty =
+    handle (fun () ->
+        let module Json = Harness.Json in
+        let address = address_of socket port host in
+        let msg =
+          match raw with
+          | Some text -> (
+              match Json.of_string text with
+              | Ok j -> j
+              | Error e -> failwith ("bad --request JSON: " ^ e))
+          | None ->
+              let g6 =
+                (* The daemon speaks graph6 only; file and family inputs
+                   are encoded client-side. *)
+                match (graph6, file, family) with
+                | Some s, None, None -> Some s
+                | None, Some f, None ->
+                    Some (Netgraph.Graph6.encode (Netgraph.Edge_list.load f))
+                | None, None, Some spec ->
+                    Some (Netgraph.Graph6.encode (parse_family spec seed))
+                | None, None, None -> None
+                | _ -> failwith "give at most one of --graph6, --file, --family"
+              in
+              Json.Obj
+                (List.concat
+                   [
+                     [ ("id", Json.Int 0); ("op", Json.String op) ];
+                     (match g6 with
+                     | Some s -> [ ("graph6", Json.String s) ]
+                     | None -> []);
+                     [
+                       ("k", Json.Int k);
+                       ("nu", Json.Int nu);
+                       ( "game",
+                         Json.String
+                           (match game with
+                           | `Tuple -> "tuple"
+                           | `Subgraph -> "subgraph") );
+                       ("lambda", Json.Int lambda);
+                     ];
+                     (match profile with
+                     | Some path ->
+                         [ ("profile", Json.String (read_file path)) ]
+                     | None -> []);
+                     (match mode with
+                     | Some m -> [ ("mode", Json.String m) ]
+                     | None -> []);
+                   ])
+        in
+        let conn = Harness.Daemon.Client.connect ~retries address in
+        Fun.protect ~finally:(fun () -> Harness.Daemon.Client.close conn)
+        @@ fun () ->
+        match Harness.Daemon.Client.request conn msg with
+        | Error e -> failwith e
+        | Ok response -> (
+            print_endline (Json.to_string ~pretty response);
+            match Json.member "ok" response with
+            | Some (Json.Bool true) -> ()
+            | _ -> exit 1))
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "Send one request to a running daemon and print the JSON response \
+          (exit 1 when the daemon answers $(b,ok:false)).")
+    Term.(
+      ret
+        (const run $ socket_arg $ port_arg $ host_arg $ retries_arg $ op_arg
+       $ graph6_arg $ file_arg $ family_arg $ seed_arg $ k_arg $ nu_arg
+       $ game_arg $ lambda_arg $ profile_arg $ mode_arg $ raw_arg $ pretty_arg))
+
 let () =
   let info =
     Cmd.info "defender-cli" ~version:"1.0.0"
@@ -573,4 +807,6 @@ let () =
             fp_cmd;
             census_cmd;
             experiments_cmd;
+            serve_cmd;
+            query_cmd;
           ]))

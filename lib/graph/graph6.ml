@@ -223,3 +223,132 @@ let decode line =
   if String.length stripped > 0 && stripped.[0] = ':' then
     decode_sparse6 stripped
   else decode_graph6 stripped
+
+(* --- canonical labeling --- *)
+
+(* Iterated degree refinement (1-WL color refinement): a vertex's
+   signature is its current color plus the sorted multiset of its
+   neighbors' colors; vertices are renumbered by sorted signature until
+   the partition stops splitting.  The signature order depends only on
+   color values, never on vertex indices, so the resulting coloring is
+   invariant under relabeling — the property the Daemon's cache key
+   rests on. *)
+let refine g colors =
+  let n = Graph.n g in
+  let rec go colors ncolors =
+    let sigs =
+      Array.init n (fun v ->
+          ( colors.(v),
+            List.sort compare
+              (Graph.fold_neighbors g v ~init:[] ~f:(fun acc w ->
+                   colors.(w) :: acc)) ))
+    in
+    let order = Array.init n Fun.id in
+    Array.sort (fun a b -> compare sigs.(a) sigs.(b)) order;
+    let colors' = Array.make n 0 in
+    let c = ref 0 in
+    Array.iteri
+      (fun i v ->
+        if i > 0 && compare sigs.(order.(i - 1)) sigs.(v) <> 0 then incr c;
+        colors'.(v) <- !c)
+      order;
+    let nc = !c + 1 in
+    (* A discrete partition is a fixed point: stop without the
+       confirming pass (the exact search reaches a discrete leaf per
+       node, so this halves its refinement work). *)
+    if nc = n || nc = ncolors then colors' else go colors' nc
+  in
+  (* Starting "ncolors" below any possible count forces at least one
+     renumbering pass, which maps whatever colors the caller supplied
+     (e.g. an individualized vertex at an out-of-band value) onto the
+     canonical 0..nc-1 range. *)
+  go colors 0
+
+(* Relabel vertex v to position perm.(v) and re-encode.  Only called
+   with bijections, so the builder cannot see duplicates. *)
+let apply_relabeling g perm =
+  let b = Graph.Builder.create ~n:(Graph.n g) ~edges_hint:(Graph.m g) () in
+  Array.iter
+    (fun { Graph.u; v } -> Graph.Builder.add_edge b perm.(u) perm.(v))
+    (Graph.edges g);
+  Graph.Builder.finish b
+
+(* Smallest color class with at least two members, as (color, members in
+   index order); None when the partition is discrete.  The *cell* choice
+   is invariant (colors are); the member order inside it is not, which
+   is why the exact search tries every member and the heuristic path is
+   documented as best-effort. *)
+let first_non_singleton n colors =
+  let count = Hashtbl.create 16 in
+  Array.iter
+    (fun c ->
+      Hashtbl.replace count c (1 + Option.value (Hashtbl.find_opt count c) ~default:0))
+    colors;
+  let target = ref max_int in
+  Hashtbl.iter (fun c k -> if k >= 2 && c < !target then target := c) count;
+  if !target = max_int then None
+  else begin
+    let members = ref [] in
+    for v = n - 1 downto 0 do
+      if colors.(v) = !target then members := v :: !members
+    done;
+    Some !members
+  end
+
+exception Budget_exhausted
+
+let encode_auto g = if Graph.n g <= 4096 then encode g else encode_sparse6 g
+
+let canonical ?(exact_bound = 64) g =
+  let n = Graph.n g in
+  if n <= 1 then encode_auto g
+  else begin
+    let individualize colors v =
+      let colors' = Array.copy colors in
+      (* Any value outside 0..n-1 splits v into its own cell; the value
+         itself is washed out by the renumbering pass in [refine]. *)
+      colors'.(v) <- n;
+      colors'
+    in
+    let heuristic colors0 =
+      let colors = ref (refine g colors0) in
+      let continue = ref true in
+      while !continue do
+        match first_non_singleton n !colors with
+        | None -> continue := false
+        | Some (v :: _) -> colors := refine g (individualize !colors v)
+        | Some [] -> assert false
+      done;
+      encode_auto (apply_relabeling g !colors)
+    in
+    let colors = refine g (Array.make n 0) in
+    match first_non_singleton n colors with
+    | None -> encode_auto (apply_relabeling g colors)
+    | Some _ when n > exact_bound -> heuristic colors
+    | Some _ -> (
+        (* Individualization-refinement search: branch on every member
+           of the first non-singleton cell, refine, recurse; the
+           canonical form is the lexicographically least leaf encoding.
+           Trying the whole cell is what restores the invariance the
+           member order lacks.  The node budget bounds pathological
+           instances (refinement-resistant regular graphs); on
+           exhaustion the heuristic answer is still a faithful encoding
+           of an isomorphic graph — a cache key that may merely miss. *)
+        let budget = ref 50_000 in
+        let best = ref None in
+        let rec search colors =
+          decr budget;
+          if !budget < 0 then raise Budget_exhausted;
+          match first_non_singleton n colors with
+          | None ->
+              let candidate = encode_auto (apply_relabeling g colors) in
+              (match !best with
+              | Some b when b <= candidate -> ()
+              | _ -> best := Some candidate)
+          | Some members ->
+              List.iter (fun v -> search (refine g (individualize colors v))) members
+        in
+        match search colors with
+        | () -> ( match !best with Some b -> b | None -> assert false)
+        | exception Budget_exhausted -> heuristic colors)
+  end

@@ -31,3 +31,23 @@ val encode_sparse6 : Graph.t -> string
     edge are rejected: the substrate holds simple graphs only.
     @raise Invalid_argument on malformed input. *)
 val decode_sparse6 : string -> Graph.t
+
+(** [canonical g] is a canonical form of [g]: a graph6 (or, beyond 4096
+    vertices, sparse6) encoding of an isomorphic relabeling of [g],
+    chosen so that isomorphic graphs map to the same string.  This is
+    the {e instance identity} the query daemon's solve cache is keyed
+    on — two queries about relabelings of the same graph share one
+    cache entry.
+
+    The labeling is found by iterated degree refinement (1-WL color
+    refinement) and, when refinement alone does not separate all
+    vertices and [n <= exact_bound] (default 64), an
+    individualization-refinement search over the first ambiguous cell
+    whose result is the lexicographically least leaf encoding — exact
+    canonicity on that range.  Past [exact_bound], or if the search
+    exceeds its internal node budget (refinement-resistant regular
+    graphs), a deterministic heuristic completes the labeling; the
+    result is then still a faithful encoding of an isomorphic graph —
+    sound as a cache key, at worst missing a possible hit — but two
+    relabelings are no longer guaranteed to agree. *)
+val canonical : ?exact_bound:int -> Graph.t -> string

@@ -5,8 +5,10 @@
    bench driver, the CLI, the tests) reach everything — experiment
    engine and observability alike — through the one [Harness] namespace. *)
 
+module Daemon = Daemon
 module Experiment = Experiment
 module Json = Json
+module Lru = Lru
 module Obs = Obs
 module Parallel = Parallel
 module Pool = Pool

@@ -7,8 +7,10 @@
     themselves; this module folds it back into the one namespace that
     the bench driver, the CLI and the tests already use. *)
 
+module Daemon = Daemon
 module Experiment = Experiment
 module Json = Json
+module Lru = Lru
 module Obs = Obs
 module Parallel = Parallel
 module Pool = Pool

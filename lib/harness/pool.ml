@@ -6,7 +6,15 @@
    per worker, steals from the longest queue when a worker runs dry — so
    there is no shared-memory coordination to get wrong: workers know
    nothing of each other and just answer frames until EOF on the
-   request pipe tells them to exit. *)
+   request pipe tells them to exit.
+
+   Two front-ends share the scheduling core: the synchronous batch API
+   (run_batch — deal, steal, block until every job settles) and the
+   asynchronous service API (submit/step — a caller-owned select loop
+   feeds jobs in and drains completions out; the Daemon is the caller).
+   The per-mode differences (where a settled outcome goes, where a
+   retried job is requeued) are factored into a [sched] record so the
+   crash/timeout/desync rules live in exactly one place. *)
 
 (* Recorded in the parent: these are orchestration metrics, never part
    of an experiment's own delta.  Dispatches (retries included) and
@@ -19,11 +27,13 @@ let c_steals = Obs.volatile "pool.steals"
 
 type job = {
   pos : int;  (* position in the batch, for result ordering *)
-  jid : int;  (* the id handed to [f] *)
+  jid : int;  (* the id handed to [f] (batch) or the caller's ticket *)
+  arg : Json.t option;  (* request payload, for service pools *)
   mutable attempts : int;
   mutable started : float;
   mutable deadline : float option;
   mutable timed_out : bool;
+  mutable settled : bool;
 }
 
 type state = Idle | Busy of job | Dead
@@ -35,17 +45,43 @@ type worker = {
   mutable resp : Unix.file_descr;  (* parent reads response frames *)
   mutable dec : Wire.decoder;
   mutable state : state;
-  queue : job Queue.t;  (* dealt but not yet dispatched *)
+  queue : job Queue.t;  (* dealt but not yet dispatched (batch mode) *)
+}
+
+(* What a worker process runs: indexed jobs compute from the job id
+   alone (the batch API), service jobs carry their request as a JSON
+   payload in the frame (the daemon API). *)
+type handler = Indexed of (int -> Json.t) | Service of (Json.t -> Json.t)
+
+type async = {
+  backlog : job Queue.t;  (* submitted, not yet dispatched *)
+  done_q : (int * Parallel.outcome) Queue.t;  (* settled, not yet drained *)
+  mutable unfinished : int;  (* submitted minus settled *)
 }
 
 type t = {
-  f : int -> Json.t;
+  f : handler;
   timeout : float option;
   ws : worker array;
   mutable shut : bool;
+  async : async;
+}
+
+(* The per-mode halves of the scheduler: where a settled outcome goes,
+   and where a crashed job's single retry is requeued ([requeue] takes
+   the dead worker so batch mode can park the job on its queue for the
+   respawned worker — or a thief — to pick up). *)
+type sched = {
+  settle : job -> Parallel.outcome -> unit;
+  requeue : worker -> job -> unit;
 }
 
 let worker_count t = Array.length t.ws
+
+let worker_pids t =
+  Array.fold_right
+    (fun w acc -> if w.state = Dead then acc else w.pid :: acc)
+    t.ws []
 
 exception Desync of string
 
@@ -58,11 +94,27 @@ let reason_of_status = function
 (* --- worker side --- *)
 
 (* The whole worker: answer frames until EOF.  A raised exception
-   (inside [f] or writing to a dead parent — SIGPIPE is ignored so that
-   surfaces as EPIPE) exits 3, the same code Parallel's workers use, so
-   the parent-side crash report reads identically. *)
-let worker_loop f ~req ~resp =
+   (inside the handler or writing to a dead parent — SIGPIPE is ignored
+   so that surfaces as EPIPE) exits 3, the same code Parallel's workers
+   use, so the parent-side crash report reads identically.
+
+   Signal dispositions: a parent embedding the pool in a daemon installs
+   SIGTERM/SIGINT handlers that merely set a drain flag.  Workers forked
+   after that point inherit those handlers, and an inherited flag-setter
+   is worse than useless in a worker: a SIGTERM delivered to the whole
+   process group (the shape `kill -TERM -- -PGID`, or a supervisor
+   signalling the job) would interrupt the blocking read, set a flag
+   nobody reads, and leave the worker alive — orphaned once the parent
+   is gone.  So the first thing a worker does is restore the default
+   (lethal) dispositions; its clean-exit path stays what it always was:
+   EOF on the request pipe. *)
+let worker_loop handler ~req ~resp =
   Wire.ignore_sigpipe ();
+  List.iter
+    (fun s ->
+      try Sys.set_signal s Sys.Signal_default
+      with Invalid_argument _ | Sys_error _ -> ())
+    [ Sys.sigterm; Sys.sigint ];
   let rec loop () =
     match Wire.read_frame req with
     | None -> Unix._exit 0 (* graceful drain *)
@@ -70,7 +122,12 @@ let worker_loop f ~req ~resp =
     | Some (Ok msg) -> (
         match (Json.member "job" msg, Json.member "ping" msg) with
         | Some (Json.Int jid), _ ->
-            let payload = f jid in
+            let payload =
+              match (handler, Json.member "arg" msg) with
+              | Indexed f, None -> f jid
+              | Service f, Some arg -> f arg
+              | Indexed _, Some _ | Service _, None -> Unix._exit 3
+            in
             Wire.write_frame resp
               (Json.Obj [ ("job", Json.Int jid); ("payload", payload) ]);
             loop ()
@@ -127,7 +184,7 @@ let mark_dead w =
     w.state <- Dead
   end
 
-let create ~workers ?timeout f =
+let make_pool ~workers ?timeout f =
   if workers < 1 then invalid_arg "Pool.create: workers must be positive";
   (match timeout with
   | Some s when s <= 0.0 -> invalid_arg "Pool.create: timeout must be positive"
@@ -137,6 +194,8 @@ let create ~workers ?timeout f =
       f;
       timeout;
       shut = false;
+      async =
+        { backlog = Queue.create (); done_q = Queue.create (); unfinished = 0 };
       ws =
         Array.init workers (fun index ->
             {
@@ -153,8 +212,128 @@ let create ~workers ?timeout f =
   Array.iter (fun w -> spawn t w.index) t.ws;
   t
 
+let create ~workers ?timeout f = make_pool ~workers ?timeout (Indexed f)
+
+let create_service ~workers ?timeout f = make_pool ~workers ?timeout (Service f)
+
+(* --- the shared scheduling core --- *)
+
+let wall_of (j : job) = Float.max 0.0 (Timer.now () -. j.started)
+
+let process_frames sched w =
+  let continue = ref true in
+  while !continue do
+    match Wire.next_frame w.dec with
+    | None -> continue := false
+    | Some (Error e) -> raise (Desync ("worker response does not parse: " ^ e))
+    | Some (Ok msg) -> (
+        match (w.state, Json.member "job" msg, Json.member "payload" msg) with
+        | Busy j, Some (Json.Int jid), Some payload when jid = j.jid ->
+            sched.settle j (Parallel.Completed payload);
+            w.state <- Idle
+        | _ -> raise (Desync "unexpected frame from worker"))
+  done
+
+(* A worker hit EOF (it died) or a dispatch write failed.  Deliver
+   whatever it wrote first: a complete buffered response beats any
+   crash or timeout verdict — Parallel.classify's rule, the worker
+   that answered at the deadline completed.  Then decide the pending
+   job: timeout crashes settle with no retry (re-running would double
+   the blown budget), a first crash is requeued for one retry on a
+   fresh worker, a second crash settles with the wait status's
+   reason. *)
+let reap_dead t sched chunk w =
+  (try
+     let eof = ref false in
+     while not !eof do
+       match Unix.read w.resp chunk 0 (Bytes.length chunk) with
+       | 0 -> eof := true
+       | k -> Wire.feed w.dec chunk k
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+       | exception Unix.Unix_error _ -> eof := true
+     done;
+     process_frames sched w
+   with Desync _ -> ());
+  let status = Wire.waitpid_retry w.pid in
+  let pending = match w.state with Busy j -> Some j | Idle | Dead -> None in
+  (match w.state with Busy _ -> w.state <- Idle | Idle | Dead -> ());
+  mark_dead w;
+  match pending with
+  | None -> ()
+  | Some j ->
+      if j.timed_out then
+        sched.settle j
+          (Parallel.Crashed
+             {
+               reason =
+                 Printf.sprintf "timed out after %g s (worker killed)"
+                   (Option.value t.timeout ~default:Float.nan);
+               wall = wall_of j;
+             })
+      else if j.attempts <= 1 then sched.requeue w j
+      else
+        sched.settle j
+          (Parallel.Crashed { reason = reason_of_status status; wall = wall_of j })
+
+(* A desynchronized response stream is unrecoverable: settle the job
+   as unparseable (Parallel's wording for a corrupt payload, and like
+   there no retry — the worker "answered", wrongly) and replace the
+   worker. *)
+let kill_desynced sched w reason =
+  (match w.state with
+  | Busy j ->
+      sched.settle j (Parallel.Crashed { reason; wall = wall_of j });
+      w.state <- Idle
+  | Idle | Dead -> ());
+  (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
+  ignore (Wire.waitpid_retry w.pid);
+  mark_dead w
+
+let dispatch t sched chunk w (j : job) =
+  j.attempts <- j.attempts + 1;
+  j.started <- Timer.now ();
+  j.deadline <- Option.map (fun s -> j.started +. s) t.timeout;
+  j.timed_out <- false;
+  w.state <- Busy j;
+  Obs.incr c_dispatches;
+  let frame =
+    match j.arg with
+    | None -> Json.Obj [ ("job", Json.Int j.jid) ]
+    | Some arg -> Json.Obj [ ("job", Json.Int j.jid); ("arg", arg) ]
+  in
+  match Wire.with_sigpipe_ignored (fun () -> Wire.write_frame w.req frame) with
+  | () -> ()
+  | exception Unix.Unix_error _ -> reap_dead t sched chunk w
+
+(* Deadlines are enforced after responses are read: any response that
+   raced its deadline was already settled, so only genuinely late
+   workers are shot.  The kill is the whole enforcement — the EOF it
+   provokes flows through reap_dead, which still prefers a completed
+   buffered response over the timeout verdict. *)
+let enforce_deadlines t =
+  let tnow = Timer.now () in
+  Array.iter
+    (fun w ->
+      match w.state with
+      | Busy j -> (
+          match j.deadline with
+          | Some d when (not j.timed_out) && tnow >= d ->
+              j.timed_out <- true;
+              (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ())
+          | _ -> ())
+      | Idle | Dead -> ())
+    t.ws
+
+(* --- synchronous batch front-end --- *)
+
 let run_batch t ids =
   if t.shut then invalid_arg "Pool.run_batch: pool is shut down";
+  (match t.f with
+  | Indexed _ -> ()
+  | Service _ ->
+      invalid_arg "Pool.run_batch: service pools take jobs through submit");
+  if t.async.unfinished > 0 then
+    invalid_arg "Pool.run_batch: submitted service jobs are still in flight";
   Array.iter
     (fun w ->
       match w.state with
@@ -168,10 +347,12 @@ let run_batch t ids =
            {
              pos;
              jid;
+             arg = None;
              attempts = 0;
              started = 0.0;
              deadline = None;
              timed_out = false;
+             settled = false;
            })
          ids)
   in
@@ -182,82 +363,17 @@ let run_batch t ids =
   Array.iter (fun w -> Queue.clear w.queue) t.ws;
   Array.iteri (fun pos j -> Queue.push j t.ws.(pos mod n).queue) jobs;
   let chunk = Bytes.create 65536 in
-  let settle (j : job) outcome =
-    if results.(j.pos) = None then begin
-      results.(j.pos) <- Some outcome;
-      decr remaining
-    end
-  in
-  let wall_of (j : job) = Float.max 0.0 (Timer.now () -. j.started) in
-  let process_frames w =
-    let continue = ref true in
-    while !continue do
-      match Wire.next_frame w.dec with
-      | None -> continue := false
-      | Some (Error e) -> raise (Desync ("worker response does not parse: " ^ e))
-      | Some (Ok msg) -> (
-          match (w.state, Json.member "job" msg, Json.member "payload" msg) with
-          | Busy j, Some (Json.Int jid), Some payload when jid = j.jid ->
-              settle j (Parallel.Completed payload);
-              w.state <- Idle
-          | _ -> raise (Desync "unexpected frame from worker"))
-    done
-  in
-  (* A worker hit EOF (it died) or a dispatch write failed.  Deliver
-     whatever it wrote first: a complete buffered response beats any
-     crash or timeout verdict — Parallel.classify's rule, the worker
-     that answered at the deadline completed.  Then decide the pending
-     job: timeout crashes settle with no retry (re-running would double
-     the blown budget), a first crash is requeued for one retry on a
-     fresh worker, a second crash settles with the wait status's
-     reason. *)
-  let reap_dead w =
-    (try
-       let eof = ref false in
-       while not !eof do
-         match Unix.read w.resp chunk 0 (Bytes.length chunk) with
-         | 0 -> eof := true
-         | k -> Wire.feed w.dec chunk k
-         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-         | exception Unix.Unix_error _ -> eof := true
-       done;
-       process_frames w
-     with Desync _ -> ());
-    let status = Wire.waitpid_retry w.pid in
-    let pending = match w.state with Busy j -> Some j | Idle | Dead -> None in
-    (match w.state with Busy _ -> w.state <- Idle | Idle | Dead -> ());
-    mark_dead w;
-    match pending with
-    | None -> ()
-    | Some j ->
-        if j.timed_out then
-          settle j
-            (Parallel.Crashed
-               {
-                 reason =
-                   Printf.sprintf "timed out after %g s (worker killed)"
-                     (Option.value t.timeout ~default:Float.nan);
-                 wall = wall_of j;
-               })
-        else if j.attempts <= 1 then Queue.push j w.queue
-        else
-          settle j
-            (Parallel.Crashed
-               { reason = reason_of_status status; wall = wall_of j })
-  in
-  (* A desynchronized response stream is unrecoverable: settle the job
-     as unparseable (Parallel's wording for a corrupt payload, and like
-     there no retry — the worker "answered", wrongly) and replace the
-     worker. *)
-  let kill_desynced w reason =
-    (match w.state with
-    | Busy j ->
-        settle j (Parallel.Crashed { reason; wall = wall_of j });
-        w.state <- Idle
-    | Idle | Dead -> ());
-    (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
-    ignore (Wire.waitpid_retry w.pid);
-    mark_dead w
+  let sched =
+    {
+      settle =
+        (fun j outcome ->
+          if not j.settled then begin
+            j.settled <- true;
+            results.(j.pos) <- Some outcome;
+            decr remaining
+          end);
+      requeue = (fun w j -> Queue.push j w.queue);
+    }
   in
   let take_next w =
     if not (Queue.is_empty w.queue) then Some (Queue.pop w.queue)
@@ -278,20 +394,6 @@ let run_batch t ids =
           Some (Queue.pop v.queue)
     end
   in
-  let dispatch w (j : job) =
-    j.attempts <- j.attempts + 1;
-    j.started <- Timer.now ();
-    j.deadline <- Option.map (fun s -> j.started +. s) t.timeout;
-    j.timed_out <- false;
-    w.state <- Busy j;
-    Obs.incr c_dispatches;
-    match
-      Wire.with_sigpipe_ignored (fun () ->
-          Wire.write_frame w.req (Json.Obj [ ("job", Json.Int j.jid) ]))
-    with
-    | () -> ()
-    | exception Unix.Unix_error _ -> reap_dead w
-  in
   while !remaining > 0 do
     (* Respawns happen only here (and after the loop): never while a
        stale select result is alive, so a recycled descriptor number can
@@ -300,7 +402,9 @@ let run_batch t ids =
     Array.iter
       (fun w ->
         if w.state = Idle then
-          match take_next w with Some j -> dispatch w j | None -> ())
+          match take_next w with
+          | Some j -> dispatch t sched chunk w j
+          | None -> ())
       t.ws;
     let fds =
       Array.fold_left
@@ -331,30 +435,14 @@ let run_batch t ids =
         (fun w ->
           if w.state <> Dead && List.mem w.resp readable then
             match Unix.read w.resp chunk 0 (Bytes.length chunk) with
-            | 0 -> reap_dead w
+            | 0 -> reap_dead t sched chunk w
             | k -> (
                 Wire.feed w.dec chunk k;
-                try process_frames w
-                with Desync reason -> kill_desynced w reason)
+                try process_frames sched w
+                with Desync reason -> kill_desynced sched w reason)
             | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
         t.ws;
-      (* Deadlines last: any response that raced its deadline was read
-         (and settled) above, so only genuinely late workers are shot.
-         The kill is the whole enforcement — the EOF it provokes flows
-         through reap_dead, which still prefers a completed buffered
-         response over the timeout verdict. *)
-      let tnow = Timer.now () in
-      Array.iter
-        (fun w ->
-          match w.state with
-          | Busy j -> (
-              match j.deadline with
-              | Some d when (not j.timed_out) && tnow >= d ->
-                  j.timed_out <- true;
-                  (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ())
-              | _ -> ())
-          | Idle | Dead -> ())
-        t.ws
+      enforce_deadlines t
     end
   done;
   (* Persistent-pool invariant: a batch ends at full strength, so the
@@ -365,6 +453,109 @@ let run_batch t ids =
     (fun (j : job) ->
       match results.(j.pos) with Some o -> (j.jid, o) | None -> assert false)
     (Array.to_list jobs)
+
+(* --- asynchronous service front-end --- *)
+
+let async_sched t =
+  let a = t.async in
+  {
+    settle =
+      (fun j outcome ->
+        if not j.settled then begin
+          j.settled <- true;
+          a.unfinished <- a.unfinished - 1;
+          Queue.push (j.jid, outcome) a.done_q
+        end);
+    (* No per-worker queues here: a retried job goes to the back of the
+       shared backlog and the next idle worker takes it. *)
+    requeue = (fun _w j -> Queue.push j a.backlog);
+  }
+
+let submit t ?arg ticket =
+  if t.shut then invalid_arg "Pool.submit: pool is shut down";
+  (match (t.f, arg) with
+  | Indexed _, Some _ ->
+      invalid_arg "Pool.submit: this pool's handler takes no payload"
+  | Service _, None ->
+      invalid_arg "Pool.submit: this pool's handler needs a payload"
+  | Indexed _, None | Service _, Some _ -> ());
+  Queue.push
+    {
+      pos = 0;
+      jid = ticket;
+      arg;
+      attempts = 0;
+      started = 0.0;
+      deadline = None;
+      timed_out = false;
+      settled = false;
+    }
+    t.async.backlog;
+  t.async.unfinished <- t.async.unfinished + 1
+
+let pending t = t.async.unfinished
+
+let resp_fds t =
+  Array.fold_left
+    (fun acc w -> if w.state = Dead then acc else w.resp :: acc)
+    [] t.ws
+
+let next_deadline t =
+  Array.fold_left
+    (fun acc w ->
+      match w.state with
+      | Busy j -> (
+          match j.deadline with
+          | Some d when not j.timed_out ->
+              Some (match acc with None -> d | Some a -> Float.min a d)
+          | _ -> acc)
+      | Idle | Dead -> acc)
+    None t.ws
+
+let step t ~readable =
+  if t.shut then invalid_arg "Pool.step: pool is shut down";
+  let sched = async_sched t in
+  let chunk = Bytes.create 65536 in
+  let dispatch_backlog () =
+    Array.iter
+      (fun w ->
+        if w.state = Idle && not (Queue.is_empty t.async.backlog) then
+          dispatch t sched chunk w (Queue.pop t.async.backlog))
+      t.ws
+  in
+  (* Same discipline as the batch loop: respawn and dispatch first,
+     while no stale select result is alive for the new descriptors to
+     alias... *)
+  Array.iter (fun w -> if w.state = Dead then respawn t w.index) t.ws;
+  dispatch_backlog ();
+  (* ...then consume what the caller's select saw.  A freshly respawned
+     worker's descriptor cannot be in [readable]: the caller collected
+     the fds before this call. *)
+  Array.iter
+    (fun w ->
+      if w.state <> Dead && List.mem w.resp readable then
+        match Unix.read w.resp chunk 0 (Bytes.length chunk) with
+        | 0 -> reap_dead t sched chunk w
+        | k -> (
+            Wire.feed w.dec chunk k;
+            try process_frames sched w
+            with Desync reason -> kill_desynced sched w reason)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+    t.ws;
+  enforce_deadlines t;
+  (* Workers freed by the settlements above take more backlog now, so a
+     submit-then-step cycle never leaves an idle worker facing queued
+     work across the caller's select.  Deaths are respawned only after
+     the readable list has been fully consumed (alias rule again). *)
+  Array.iter (fun w -> if w.state = Dead then respawn t w.index) t.ws;
+  dispatch_backlog ();
+  let out = ref [] in
+  while not (Queue.is_empty t.async.done_q) do
+    out := Queue.pop t.async.done_q :: !out
+  done;
+  List.rev !out
+
+(* --- health and teardown --- *)
 
 let alive t =
   Array.to_list
@@ -426,8 +617,9 @@ let ping ?(timeout_s = 5.0) t =
          match w.state with
          | Dead -> false
          | Busy _ -> (
-             (* Mid-job (only possible if a batch raised): liveness only,
-                the response stream is not ours to consume. *)
+             (* Mid-job (only possible if a batch raised or a service
+                job is in flight): liveness only, the response stream is
+                not ours to consume. *)
              match Unix.waitpid [ Unix.WNOHANG ] w.pid with
              | 0, _ -> true
              | _ | (exception Unix.Unix_error (Unix.ECHILD, _, _)) ->
@@ -445,8 +637,9 @@ let shutdown t =
         if w.state <> Dead then begin
           (match w.state with
           | Busy _ ->
-              (* only reachable if a batch raised: don't wait on a
-                 half-finished job, just kill *)
+              (* only reachable with a job still in flight (a batch
+                 raised, or a service job was abandoned): don't wait on
+                 a half-finished job, just kill *)
               (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ())
           | Idle | Dead -> ());
           Wire.close_quietly w.req;

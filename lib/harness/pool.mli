@@ -10,21 +10,39 @@
     answers on a response pipe ({!Wire} owns the framing), and is
     reaped only at {!shutdown}.
 
-    {b Dispatch} is least-loaded with work stealing: a batch is dealt
-    round-robin into per-worker queues, each worker holds one job in
-    flight, and a worker that drains its own queue steals the next job
-    from the longest remaining queue — so one slow job cannot strand the
-    work dealt behind it.
+    Two front-ends share one scheduling core:
 
-    {b Fault tolerance.}  A worker that dies mid-job (signal, OOM kill,
-    nonzero exit, corrupt response stream) is respawned and the job is
-    retried once on a fresh worker before being reported
-    {!Parallel.Crashed}.  A worker past the per-job [timeout] is
-    SIGKILLed and its job reported as a timeout crash with {e no} retry
-    (re-running it would double the blown budget).  In both cases a
-    complete buffered response beats the crash/timeout verdict — the
+    - the {b batch} API ({!create} + {!run_batch}): a job is an integer
+      id, the worker computes [f id], and the call blocks until every
+      job settles.  Dispatch is least-loaded with work stealing: the
+      batch is dealt round-robin into per-worker queues, each worker
+      holds one job in flight, and a worker that drains its own queue
+      steals the next job from the longest remaining queue — so one slow
+      job cannot strand the work dealt behind it.
+    - the {b service} API ({!create_service} + {!submit} + {!step}): a
+      job carries a JSON request payload, the worker computes
+      [f payload], and the caller owns the select loop — it collects
+      {!resp_fds}, selects, and hands the readable descriptors to
+      {!step}, which returns whatever completions materialized.  This is
+      the {!Daemon}'s engine.
+
+    {b Fault tolerance} (both front-ends).  A worker that dies mid-job
+    (signal, OOM kill, nonzero exit, corrupt response stream) is
+    respawned and the job is retried once on a fresh worker before being
+    reported {!Parallel.Crashed}.  A worker past the per-job [timeout]
+    is SIGKILLed and its job reported as a timeout crash with {e no}
+    retry (re-running it would double the blown budget).  In both cases
+    a complete buffered response beats the crash/timeout verdict — the
     {!Parallel.classify} rule: a worker that answered and died at the
     deadline completed.
+
+    {b Worker signals.}  Workers restore the default (lethal)
+    dispositions for SIGTERM and SIGINT on startup.  A parent embedding
+    the pool in a daemon typically installs flag-setting drain handlers
+    for those signals; inheriting such a handler would leave a worker
+    alive — and soon orphaned — when a supervisor signals the whole
+    process group.  The worker's {e graceful} exit path is unchanged:
+    EOF on its request pipe.
 
     {b Counters} (recorded in the parent, so they surface as the
     driver's orchestration-side metrics, never inside an experiment's
@@ -44,7 +62,19 @@ type t
     @raise Invalid_argument when [workers < 1] or [timeout <= 0]. *)
 val create : workers:int -> ?timeout:float -> (int -> Json.t) -> t
 
+(** [create_service ~workers ?timeout f] forks a pool whose jobs carry a
+    JSON payload: {!submit} with [?arg:req] makes some worker compute
+    [f req].  Service pools are driven through {!submit}/{!step}
+    ({!run_batch} rejects them).
+    @raise Invalid_argument when [workers < 1] or [timeout <= 0]. *)
+val create_service :
+  workers:int -> ?timeout:float -> (Json.t -> Json.t) -> t
+
 val worker_count : t -> int
+
+(** Pids of the currently live workers, in slot order — for supervision
+    and for tests that assert workers are reaped. *)
+val worker_pids : t -> int list
 
 (** Liveness snapshot without worker I/O: a non-blocking [waitpid] per
     worker.  A worker found dead is reaped and marked (the next batch
@@ -61,13 +91,53 @@ val ping : ?timeout_s:float -> t -> bool list
     the pool and returns [(id, outcome)] in the argument order.  Dead
     workers are respawned first; crashes and timeouts follow the rules
     above.  Ids need not be distinct (each occurrence is its own job).
-    @raise Invalid_argument after {!shutdown}. *)
+    @raise Invalid_argument after {!shutdown}, on a service pool, or
+    while submitted service jobs are still in flight. *)
 val run_batch : t -> int list -> (int * Parallel.outcome) list
+
+(** {2 Asynchronous service interface}
+
+    The caller owns the event loop.  Each iteration: {!submit} any new
+    work, build a select set from {!resp_fds} (plus the caller's own
+    descriptors), bound the wait by {!next_deadline}, select, then call
+    {!step} with the pool descriptors that were readable.  {!step} also
+    dispatches backlog and enforces deadlines, so it must be called
+    periodically even when nothing was readable (a select timeout). *)
+
+(** [submit t ~arg ticket] queues one job.  [ticket] is an opaque caller
+    id echoed back with the outcome — the pool never interprets it, and
+    duplicates are the caller's own affair.  [arg] is required on
+    service pools and forbidden on batch pools.
+    @raise Invalid_argument after {!shutdown} or on an arg mismatch. *)
+val submit : t -> ?arg:Json.t -> int -> unit
+
+(** Jobs submitted but not yet returned by {!step}. *)
+val pending : t -> int
+
+(** Response descriptors of the live workers — the pool's contribution
+    to the caller's select set.  Collect these {e fresh before every
+    select}: {!step} may close some (dead workers) and open others
+    (respawns). *)
+val resp_fds : t -> Unix.file_descr list
+
+(** Earliest absolute deadline over in-flight jobs, as a {!Timer.now}
+    value — the caller caps its select timeout at this so late workers
+    are killed on time.  [None] when nothing in flight has a deadline. *)
+val next_deadline : t -> float option
+
+(** [step t ~readable] advances the pool: respawns dead workers,
+    dispatches backlog to idle ones, consumes the [readable] response
+    descriptors (completions, crash detection), kills workers past their
+    deadline, dispatches again to workers just freed, and returns the
+    jobs that settled as [(ticket, outcome)] in settlement order.
+    [readable] entries that are not pool descriptors are ignored.
+    @raise Invalid_argument after {!shutdown}. *)
+val step : t -> readable:Unix.file_descr list -> (int * Parallel.outcome) list
 
 (** Graceful drain, idempotent: close every request pipe — a worker
     reads EOF at its next frame boundary and exits 0 — then reap all
-    workers.  Workers still busy (only possible if a batch raised) are
-    killed rather than waited for. *)
+    workers.  Workers still busy (only possible if a batch raised or a
+    service job is in flight) are killed rather than waited for. *)
 val shutdown : t -> unit
 
 (** {!Parallel.run}'s exact signature on a transient pool: fork

@@ -129,7 +129,7 @@ let feed d chunk k =
   Bytes.blit chunk 0 d.data d.len k;
   d.len <- d.len + k
 
-let next_frame d =
+let next_frame ?max_payload d =
   let rec newline i =
     if i >= d.len then -1
     else if Bytes.get d.data i = '\n' then i
@@ -142,13 +142,23 @@ let next_frame d =
   | nl -> (
       let header = Bytes.sub_string d.data d.pos (nl - d.pos) in
       match int_of_string_opt header with
-      | Some n when n >= 0 ->
-          if d.len - (nl + 1) < n then None (* payload still incomplete *)
-          else begin
-            let payload = Bytes.sub_string d.data (nl + 1) n in
-            d.pos <- nl + 1 + n;
-            Some (Json.of_string payload)
-          end
+      | Some n when n >= 0 -> (
+          match max_payload with
+          | Some limit when n > limit ->
+              (* Reject from the header alone: an adversarial or corrupt
+                 length must not make the reader buffer gigabytes before
+                 discovering the stream is garbage. *)
+              Some
+                (Error
+                   (Printf.sprintf "frame payload of %d bytes exceeds limit %d"
+                      n limit))
+          | _ ->
+              if d.len - (nl + 1) < n then None (* payload still incomplete *)
+              else begin
+                let payload = Bytes.sub_string d.data (nl + 1) n in
+                d.pos <- nl + 1 + n;
+                Some (Json.of_string payload)
+              end)
       | _ -> Some (Error (Printf.sprintf "bad frame header %S" header)))
 
 let partial d = d.len > d.pos

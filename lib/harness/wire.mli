@@ -70,8 +70,12 @@ val feed : decoder -> bytes -> int -> unit
 (** The next complete frame, if the buffered bytes contain one.
     [Some (Error _)] means the stream is desynchronized (unparseable
     header or payload) and the connection should be abandoned.  The
-    frame's bytes are consumed either way. *)
-val next_frame : decoder -> (Json.t, string) result option
+    frame's bytes are consumed either way.  [max_payload] rejects a
+    frame from its header alone when the declared length exceeds the
+    limit — the guard a network-facing reader ({!Daemon}) needs so an
+    adversarial length cannot make it buffer gigabytes before
+    discovering the stream is garbage. *)
+val next_frame : ?max_payload:int -> decoder -> (Json.t, string) result option
 
 (** [true] when the decoder holds buffered bytes that do not yet form a
     complete frame — after EOF, evidence of a truncated write. *)

@@ -1,0 +1,170 @@
+(* The defender instantiation of Harness.Daemon: request vocabulary,
+   cache key, and the worker-side handler.  See daemon_service.mli. *)
+
+module Json = Harness.Json
+
+let get_string key msg =
+  match Json.member key msg with
+  | Some (Json.String s) -> Some s
+  | _ -> None
+
+let get_int ?default key msg =
+  match Json.member key msg with
+  | Some (Json.Int i) -> i
+  | Some _ -> invalid_arg (Printf.sprintf "field %S must be an integer" key)
+  | None -> (
+      match default with
+      | Some d -> d
+      | None -> invalid_arg (Printf.sprintf "missing integer field %S" key))
+
+let get_graph msg =
+  match get_string "graph6" msg with
+  | Some s -> Netgraph.Graph6.decode s
+  | None -> invalid_arg "missing string field \"graph6\""
+
+let get_game msg =
+  match get_string "game" msg with
+  | None | Some "tuple" -> `Tuple
+  | Some "subgraph" -> `Subgraph
+  | Some other -> invalid_arg (Printf.sprintf "unknown game %S" other)
+
+(* The solve cache key: canonical form of the graph plus every parameter
+   the answer depends on.  Solve only — its result payload is built
+   exclusively from isomorphism-invariant quantities (gain, escape
+   probability, rho, a verdict), so two relabelings of one graph may
+   share the entry.  profit and equilibrium-check take a profile written
+   in the client's labeling; their answers are label-dependent, so they
+   must never be cached under a label-erasing key.
+
+   Canonicalization is the expensive part of the key, and clients
+   overwhelmingly resend the graph as the same graph6 bytes — so the
+   bytes-to-canonical mapping is memoized in its own small LRU.  This is
+   sound because equal graph6 strings decode to the identical graph.  A
+   relabeled resend misses the memo and pays one canonicalization, then
+   lands on the same solve-cache entry. *)
+let canon_memo : string Harness.Lru.t = Harness.Lru.create 4096
+
+let canonical_of g6 =
+  match Harness.Lru.find canon_memo g6 with
+  | Some c -> c
+  | None ->
+      let c = Netgraph.Graph6.canonical (Netgraph.Graph6.decode g6) in
+      Harness.Lru.add canon_memo g6 c;
+      c
+
+let cache_key msg =
+  match get_string "op" msg with
+  | Some "solve" -> (
+      try
+        let g6 =
+          match get_string "graph6" msg with
+          | Some s -> s
+          | None -> invalid_arg "missing string field \"graph6\""
+        in
+        let game, power =
+          match get_game msg with
+          | `Tuple -> ("tuple", get_int "k" msg ~default:1)
+          | `Subgraph -> ("subgraph", get_int "lambda" msg ~default:1)
+        in
+        Some
+          (Printf.sprintf "%s|game=%s|p=%d|nu=%d" (canonical_of g6) game power
+             (get_int "nu" msg ~default:1))
+      with _ -> None)
+  | _ -> None
+
+let ok result = Json.Obj [ ("ok", Json.Bool true); ("result", result) ]
+let error msg = Json.Obj [ ("ok", Json.Bool false); ("error", Json.String msg) ]
+
+let q_string q = Json.String (Exact.Q.to_string q)
+
+let model_of msg g =
+  Defender.Model.make ~graph:g ~nu:(get_int "nu" msg ~default:1)
+    ~k:(get_int "k" msg ~default:1)
+
+let profile_of msg m =
+  match get_string "profile" msg with
+  | Some text -> Defender.Profile_io.of_string m text
+  | None -> invalid_arg "missing string field \"profile\""
+
+let solve msg =
+  let g = get_graph msg in
+  (match get_game msg with
+  | `Tuple -> ()
+  | `Subgraph ->
+      invalid_arg "solve supports the tuple game only (no subgraph solver)");
+  let m = model_of msg g in
+  match Defender.Tuple_nash.a_tuple_auto m with
+  | Error reason ->
+      (* A negative answer is still an isomorphism-invariant fact about
+         the instance — cacheable, hence inside the ok envelope. *)
+      ok
+        (Json.Obj
+           [ ("solvable", Json.Bool false); ("reason", Json.String reason) ])
+  | Ok prof ->
+      ok
+        (Json.Obj
+           [
+             ("solvable", Json.Bool true);
+             ("gain", q_string (Defender.Gain.defender_gain prof));
+             ("escape", q_string (Defender.Gain.escape_probability prof 0));
+             ("rho", Json.Int (Matching.Edge_cover.rho g));
+             ( "verdict",
+               Json.String
+                 (Defender.Verify.verdict_to_string
+                    (Defender.Verify.mixed_ne Defender.Verify.Certificate prof))
+             );
+           ])
+
+let profit msg =
+  let g = get_graph msg in
+  let m = model_of msg g in
+  let prof = profile_of msg m in
+  let nu = get_int "nu" msg ~default:1 in
+  ok
+    (Json.Obj
+       [
+         ("gain", q_string (Defender.Gain.defender_gain prof));
+         ( "escape",
+           Json.List
+             (List.init nu (fun i ->
+                  q_string (Defender.Gain.escape_probability prof i))) );
+       ])
+
+let equilibrium_check msg =
+  let g = get_graph msg in
+  let m = model_of msg g in
+  let prof = profile_of msg m in
+  let mode =
+    match get_string "mode" msg with
+    | None | Some "certificate" -> Defender.Verify.Certificate
+    | Some "exhaustive" -> Defender.Verify.Exhaustive 2_000_000
+    | Some other -> invalid_arg (Printf.sprintf "unknown verify mode %S" other)
+  in
+  let verdict = Defender.Verify.mixed_ne mode prof in
+  ok
+    (Json.Obj
+       [
+         ("confirmed", Json.Bool (Defender.Verify.verdict_is_confirmed verdict));
+         ("verdict", Json.String (Defender.Verify.verdict_to_string verdict));
+       ])
+
+(* Total: every failure becomes an {"ok":false} payload.  An exception
+   escaping here would cost a worker respawn and a retry that must fail
+   identically — pure waste for what is always a bad-input condition. *)
+let describe = function
+  | Invalid_argument msg | Failure msg | Sys_error msg -> msg
+  | e -> Printexc.to_string e
+
+let handle msg =
+  match get_string "op" msg with
+  | Some "solve" -> ( try solve msg with e -> error (describe e))
+  | Some "profit" -> ( try profit msg with e -> error (describe e))
+  | Some "equilibrium-check" -> (
+      try equilibrium_check msg with e -> error (describe e))
+  | Some other -> error (Printf.sprintf "unknown op %S" other)
+  | None -> error "request has no \"op\" string"
+
+let serve ~address ~workers ?timeout ?max_inflight ?cache_entries ?max_frame
+    ?on_ready () =
+  Harness.Daemon.serve ~address ~workers ?timeout ?max_inflight ?cache_entries
+    ?max_frame ?on_ready ~cache_key handle

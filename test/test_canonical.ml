@@ -1,0 +1,165 @@
+(* Properties of Graph6.canonical — the cache key the daemon's solve
+   cache rests on.  The load-bearing direction is soundness-as-a-key:
+   every relabeling of a graph maps to ONE canonical string (else the
+   cache leaks misses), and at small n, canonical equality coincides
+   exactly with isomorphism (else the cache conflates distinct
+   instances). *)
+
+module G = Netgraph.Graph
+module G6 = Netgraph.Graph6
+module Gen = Netgraph.Gen
+
+let rng = Prng.Rng.create 0x5eed_ca40
+
+let shuffle n =
+  let perm = Array.init n (fun i -> i) in
+  Prng.Rng.shuffle_in_place rng perm;
+  perm
+
+let relabel g perm =
+  let b = G.Builder.create ~edges_hint:(G.m g) ~n:(G.n g) () in
+  G.iter_edges g ~f:(fun _ (e : G.edge) ->
+      G.Builder.add_edge b perm.(e.u) perm.(e.v));
+  G.Builder.finish b
+
+(* --- invariance: 1000 random relabelings, one key --- *)
+
+let tier1_instances () =
+  [
+    ("path 6", Gen.path 6);
+    ("cycle 8", Gen.cycle 8);
+    ("star 5", Gen.star 5);
+    ("complete 4", Gen.complete 4);
+    ("grid 3x4", Gen.grid 3 4);
+    ("petersen", Gen.petersen ());
+    ("gnp 12", Gen.gnp rng ~n:12 ~p:0.3);
+  ]
+
+let test_relabeling_invariance () =
+  List.iter
+    (fun (name, g) ->
+      let n = G.n g in
+      let key = G6.canonical g in
+      for trial = 1 to 1000 do
+        let g' = relabel g (shuffle n) in
+        let key' = G6.canonical g' in
+        if key' <> key then
+          Alcotest.failf "%s trial %d: canonical drifted (%S vs %S)" name trial
+            key key'
+      done)
+    (tier1_instances ())
+
+(* --- exactness at small n: canonical equality ⟺ isomorphism --- *)
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x ->
+          List.map
+            (fun rest -> x :: rest)
+            (permutations (List.filter (fun y -> y <> x) l)))
+        l
+
+let edge_set g =
+  let acc = ref [] in
+  G.iter_edges g ~f:(fun _ (e : G.edge) -> acc := (e.u, e.v) :: !acc);
+  List.sort_uniq compare !acc
+
+let isomorphic g h =
+  let n = G.n g in
+  G.n h = n
+  && G.m h = G.m g
+  &&
+  let eh = edge_set h in
+  List.exists
+    (fun perm ->
+      let p = Array.of_list perm in
+      edge_set (relabel g p) = eh)
+    (permutations (List.init n (fun i -> i)))
+
+let random_graph n =
+  let b = G.Builder.create ~n () in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Prng.Rng.int rng 100 < 40 then G.Builder.add_edge b u v
+    done
+  done;
+  G.Builder.finish b
+
+let test_canonical_equality_is_isomorphism () =
+  (* random pairs at n <= 6, checked against brute force over all n!
+     relabelings.  Mix in relabeled copies so the "isomorphic" branch is
+     exercised as often as the "not" branch. *)
+  for trial = 1 to 60 do
+    let n = 3 + Prng.Rng.int rng 4 in
+    let g = random_graph n in
+    let h =
+      if trial mod 2 = 0 then relabel g (shuffle n) else random_graph n
+    in
+    let same_key = G6.canonical g = G6.canonical h in
+    let iso = isomorphic g h in
+    if same_key <> iso then
+      Alcotest.failf "trial %d (n=%d): canonical %s but graphs %s isomorphic"
+        trial n
+        (if same_key then "agrees" else "differs")
+        (if iso then "ARE" else "are NOT")
+  done
+
+(* --- the canonical string is a faithful encoding of the graph --- *)
+
+let degree_multiset g =
+  List.sort compare (List.init (G.n g) (G.degree g))
+
+let test_canonical_decodes_to_isomorph () =
+  List.iter
+    (fun (name, g) ->
+      let g' = G6.decode (G6.canonical g) in
+      Alcotest.(check int) (name ^ ": n") (G.n g) (G.n g');
+      Alcotest.(check int) (name ^ ": m") (G.m g) (G.m g');
+      Alcotest.(check (list int))
+        (name ^ ": degree multiset")
+        (degree_multiset g) (degree_multiset g'))
+    (tier1_instances ())
+
+let test_edge_cases () =
+  let empty = G.make ~n:0 [] in
+  let one = G.make ~n:1 [] in
+  Alcotest.(check string) "n=0 stable" (G6.canonical empty) (G6.canonical empty);
+  Alcotest.(check int) "n=0 decodes" 0 (G.n (G6.decode (G6.canonical empty)));
+  Alcotest.(check int) "n=1 decodes" 1 (G.n (G6.decode (G6.canonical one)));
+  (* isolated vertices and a disconnected graph *)
+  let g = G.make ~n:7 [ (0, 1); (1, 2); (4, 5) ] in
+  let key = G6.canonical g in
+  for _ = 1 to 200 do
+    let g' = relabel g (shuffle 7) in
+    Alcotest.(check string) "disconnected invariance" key (G6.canonical g')
+  done;
+  (* regular graphs are the refinement's worst case: every vertex looks
+     alike, so the exact search must do the separating *)
+  let c6 = Gen.cycle 6 in
+  let two_triangles =
+    G.make ~n:6 [ (0, 1); (1, 2); (2, 0); (3, 4); (4, 5); (5, 3) ]
+  in
+  Alcotest.(check bool) "C6 vs 2K3 distinguished" false
+    (G6.canonical c6 = G6.canonical two_triangles);
+  for _ = 1 to 200 do
+    Alcotest.(check string) "C6 invariance" (G6.canonical c6)
+      (G6.canonical (relabel c6 (shuffle 6)))
+  done
+
+let () =
+  Alcotest.run "canonical"
+    [
+      ( "canonical",
+        [
+          Alcotest.test_case "1000 relabelings per tier-1 instance" `Quick
+            test_relabeling_invariance;
+          Alcotest.test_case "equality is isomorphism at small n" `Quick
+            test_canonical_equality_is_isomorphism;
+          Alcotest.test_case "decodes to an isomorph" `Quick
+            test_canonical_decodes_to_isomorph;
+          Alcotest.test_case "edge cases and regular graphs" `Quick
+            test_edge_cases;
+        ] );
+    ]

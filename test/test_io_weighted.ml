@@ -130,6 +130,76 @@ let test_sparse6_rejects_malformed () =
     (Invalid_argument "Graph6.decode: truncated input") (fun () ->
       ignore (Graph6.decode ":~~???"))
 
+(* Padding audit against McKay's formal description.  The encoder pads
+   the last byte with 1 bits, EXCEPT when n is a power of two, at least
+   k+1 padding bits remain, and the current vertex is n-2: then a single
+   0 bit goes first, because k-bit all-ones is exactly n-1 there and
+   all-ones padding would decode as one more group — the self-loop
+   {n-1, n-1}.  For every other n, all-ones decodes as an out-of-range
+   index and is ignored; for fewer than k+1 spare bits the group is
+   incomplete and ignored.  These cases pin each arm of that rule. *)
+let test_sparse6_spec_vector () =
+  (* The worked example in the sparse6 spec: n = 7 with edges
+     0-1, 0-2, 1-2, 5-6 encodes as ":Fa@x^". *)
+  let g = Graph.make ~n:7 [ (0, 1); (0, 2); (1, 2); (5, 6) ] in
+  Alcotest.(check string) "spec vector encodes" ":Fa@x^"
+    (Graph6.encode_sparse6 g);
+  Alcotest.(check bool) "spec vector decodes" true
+    (Graph.equal g (Graph6.decode ":Fa@x^"))
+
+let test_sparse6_padding_ambiguity () =
+  let rt name g =
+    Alcotest.(check bool) name true
+      (Graph.equal g (Graph6.decode (Graph6.encode_sparse6 g)))
+  in
+  (* trivial sizes *)
+  rt "n=0" (Graph.make ~n:0 []);
+  rt "n=1" (Graph.make ~n:1 []);
+  rt "n=2 edgeless" (Graph.make ~n:2 []);
+  rt "n=2 edge" (Graph.make ~n:2 [ (0, 1) ]);
+  (* power-of-two n with the encoding ending on current vertex n-2 and
+     >= k+1 spare bits: the single-0-bit exception must fire (all-ones
+     would decode as the self-loop {n-1, n-1}) *)
+  rt "n=4 triangle + isolated" (Graph.make ~n:4 [ (0, 1); (1, 2); (0, 2) ]);
+  rt "n=8 edge (5,6)" (Graph.make ~n:8 [ (5, 6) ]);
+  rt "n=16 path prefix + (13,14)"
+    (Graph.make ~n:16 [ (0, 1); (1, 2); (2, 3); (13, 14) ]);
+  (* same shapes where the exception must NOT fire: last vertex used,
+     or too few spare bits for a full group *)
+  rt "n=8 edge (6,7)" (Graph.make ~n:8 [ (6, 7) ]);
+  rt "n=16 edge (13,14)" (Graph.make ~n:16 [ (13, 14) ]);
+  rt "n=16 edge (14,15)" (Graph.make ~n:16 [ (14, 15) ]);
+  rt "n=32 edge (29,30)" (Graph.make ~n:32 [ (29, 30) ]);
+  rt "n=32 edge (30,31)" (Graph.make ~n:32 [ (30, 31) ]);
+  (* non-power-of-two neighbours of the special sizes *)
+  rt "n=7 edge (5,6)" (Graph.make ~n:7 [ (5, 6) ]);
+  rt "n=9 edge (7,8)" (Graph.make ~n:9 [ (7, 8) ]);
+  rt "n=15 edge (13,14)" (Graph.make ~n:15 [ (13, 14) ])
+
+let test_sparse6_exhaustive_small () =
+  (* decode ∘ encode is the identity on EVERY graph with n <= 5
+     (1 + 1 + 2 + 8 + 64 + 1024 graphs): no padding ambiguity survives
+     brute force. *)
+  for n = 0 to 5 do
+    let pairs = ref [] in
+    for v = 1 to n - 1 do
+      for u = 0 to v - 1 do
+        pairs := (u, v) :: !pairs
+      done
+    done;
+    let pairs = Array.of_list (List.rev !pairs) in
+    let npairs = Array.length pairs in
+    for mask = 0 to (1 lsl npairs) - 1 do
+      let edges = ref [] in
+      Array.iteri
+        (fun i e -> if mask land (1 lsl i) <> 0 then edges := e :: !edges)
+        pairs;
+      let g = Graph.make ~n !edges in
+      if not (Graph.equal g (Graph6.decode (Graph6.encode_sparse6 g))) then
+        Alcotest.failf "n=%d mask=%d: sparse6 roundtrip broken" n mask
+    done
+  done
+
 let sparse6_props =
   let gen =
     QCheck.make
@@ -141,6 +211,17 @@ let sparse6_props =
   in
   [
     QCheck.Test.make ~name:"sparse6 roundtrip on random graphs" ~count:200 gen
+      (fun g -> Graph.equal g (Graph6.decode (Graph6.encode_sparse6 g)));
+    (* dense draws at n <= 17 keep hammering the padding boundary (the
+       byte tail behaves differently at n = 4, 8, 16 vs their
+       neighbours) *)
+    QCheck.Test.make ~name:"sparse6 roundtrip near power-of-two n" ~count:400
+      (QCheck.make
+         (QCheck.Gen.map
+            (fun seed ->
+              let r = Prng.Rng.create seed in
+              Gen.gnp r ~n:(2 + Prng.Rng.int r 16) ~p:0.5)
+            QCheck.Gen.int))
       (fun g -> Graph.equal g (Graph6.decode (Graph6.encode_sparse6 g)));
     QCheck.Test.make ~name:"sparse6 output is printable ASCII" ~count:100 gen
       (fun g ->
@@ -318,6 +399,11 @@ let () =
       ( "sparse6",
         [
           Alcotest.test_case "roundtrip families" `Quick test_sparse6_roundtrip;
+          Alcotest.test_case "spec vector" `Quick test_sparse6_spec_vector;
+          Alcotest.test_case "padding ambiguity cases" `Quick
+            test_sparse6_padding_ambiguity;
+          Alcotest.test_case "exhaustive n <= 5" `Quick
+            test_sparse6_exhaustive_small;
           Alcotest.test_case "huge header" `Quick test_sparse6_huge_header;
           Alcotest.test_case "rejects malformed" `Quick
             test_sparse6_rejects_malformed;

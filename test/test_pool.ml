@@ -404,6 +404,191 @@ let test_pool_alive_ping_shutdown () =
     (Invalid_argument "Pool.run_batch: pool is shut down") (fun () ->
       ignore (P.run_batch p [ 1 ]))
 
+(* --- asynchronous service interface --- *)
+
+(* Drive a service pool's submit/step cycle the way the daemon does:
+   select on resp_fds, hand the readable set to step, collect
+   settlements until nothing is pending. *)
+let drive ?(budget = 30.0) p =
+  let deadline = Unix.gettimeofday () +. budget in
+  let out = ref [] in
+  while P.pending p > 0 do
+    if Unix.gettimeofday () > deadline then
+      Alcotest.fail "service pool did not settle in time";
+    let fds = P.resp_fds p in
+    let readable, _, _ =
+      try Unix.select fds [] [] 0.2
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    out := !out @ P.step p ~readable
+  done;
+  !out
+
+let test_pool_service_submit_step () =
+  let p =
+    P.create_service ~workers:2 (fun arg ->
+        match J.member "x" arg with
+        | Some (J.Int x) -> J.Obj [ ("ok", J.Bool true); ("y", J.Int (x * x)) ]
+        | _ -> J.Obj [ ("ok", J.Bool false) ])
+  in
+  Fun.protect ~finally:(fun () -> P.shutdown p) @@ fun () ->
+  List.iter
+    (fun t -> P.submit p ~arg:(J.Obj [ ("x", J.Int t) ]) (100 + t))
+    [ 0; 1; 2; 3; 4 ];
+  Alcotest.(check int) "five pending" 5 (P.pending p);
+  let settled = drive p in
+  Alcotest.(check int) "five settled" 5 (List.length settled);
+  List.iter
+    (fun t ->
+      match List.assoc_opt (100 + t) settled with
+      | Some (Harness.Parallel.Completed json) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "ticket %d payload" t)
+            true
+            (J.member "y" json = Some (J.Int (t * t)))
+      | Some (Harness.Parallel.Crashed { reason; _ }) ->
+          Alcotest.failf "ticket %d crashed: %s" t reason
+      | None -> Alcotest.failf "ticket %d never settled" t)
+    [ 0; 1; 2; 3; 4 ];
+  (* arg-handler pairing is validated both ways, batch mode is locked. *)
+  Alcotest.check_raises "submit without payload"
+    (Invalid_argument "Pool.submit: this pool's handler needs a payload")
+    (fun () -> P.submit p 9);
+  Alcotest.check_raises "run_batch on a service pool"
+    (Invalid_argument "Pool.run_batch: service pools take jobs through submit")
+    (fun () -> ignore (P.run_batch p [ 1 ]));
+  let batch = P.create ~workers:1 (fun i -> J.Int i) in
+  Fun.protect ~finally:(fun () -> P.shutdown batch) @@ fun () ->
+  Alcotest.check_raises "payload on a batch pool"
+    (Invalid_argument "Pool.submit: this pool's handler takes no payload")
+    (fun () -> P.submit batch ~arg:J.Null 1)
+
+let test_pool_service_crash_and_deadline () =
+  let p =
+    P.create_service ~workers:2 ~timeout:0.3 (fun arg ->
+        match J.member "op" arg with
+        | Some (J.String "crash") -> Unix._exit 9
+        | Some (J.String "hang") ->
+            ignore (Unix.select [] [] [] 30.0);
+            J.Null
+        | _ -> J.Obj [ ("fine", J.Bool true) ])
+  in
+  Fun.protect ~finally:(fun () -> P.shutdown p) @@ fun () ->
+  P.submit p ~arg:(J.Obj [ ("op", J.String "crash") ]) 1;
+  P.submit p ~arg:(J.Obj [ ("op", J.String "hang") ]) 2;
+  P.submit p ~arg:(J.Obj [ ("op", J.String "echo") ]) 3;
+  let settled = drive p in
+  (match List.assoc_opt 1 settled with
+  | Some (Harness.Parallel.Crashed { reason; _ }) ->
+      Alcotest.(check bool) "crash reported after retry" true
+        (contains reason "exited with code 9")
+  | _ -> Alcotest.fail "crasher did not crash");
+  (match List.assoc_opt 2 settled with
+  | Some (Harness.Parallel.Crashed { reason; _ }) ->
+      Alcotest.(check bool) "deadline enforced" true
+        (contains reason "timed out after 0.3 s")
+  | _ -> Alcotest.fail "hanger did not time out");
+  (match List.assoc_opt 3 settled with
+  | Some (Harness.Parallel.Completed json) ->
+      Alcotest.(check bool) "sibling fine" true
+        (J.member "fine" json = Some (J.Bool true))
+  | _ -> Alcotest.fail "sibling lost");
+  (* the pool is back at full strength for more submissions *)
+  P.submit p ~arg:(J.Obj [ ("op", J.String "echo") ]) 4;
+  match drive p with
+  | [ (4, Harness.Parallel.Completed _) ] -> ()
+  | _ -> Alcotest.fail "pool unusable after crashes"
+
+(* --- worker signal dispositions and orphan reaping --- *)
+
+let poll_until_gone ?(budget = 5.0) pids =
+  (* "Gone" means exited: the pid is unknown to the kernel, or its
+     /proc stat shows it as a zombie awaiting an init that may or may
+     not reap promptly.  Both prove the worker's process ran to exit. *)
+  let dead pid =
+    match Unix.kill pid 0 with
+    | exception Unix.Unix_error (Unix.ESRCH, _, _) -> true
+    | exception Unix.Unix_error _ -> false
+    | () -> (
+        match
+          let ic = open_in (Printf.sprintf "/proc/%d/stat" pid) in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> input_line ic)
+        with
+        | line -> (
+            (* state is the first field after the parenthesized comm *)
+            match String.rindex_opt line ')' with
+            | Some i when i + 2 < String.length line -> line.[i + 2] = 'Z'
+            | _ -> false)
+        | exception Sys_error _ -> true)
+  in
+  let deadline = Unix.gettimeofday () +. budget in
+  let rec wait () =
+    if List.for_all dead pids then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      ignore (Unix.select [] [] [] 0.05);
+      wait ()
+    end
+  in
+  wait ()
+
+(* Workers must die to a SIGTERM delivered directly to them (the shape a
+   supervisor's process-group signal takes) even when the pool's parent
+   had installed a flag-setting handler before forking — the worker_loop
+   resets the inherited disposition to the lethal default.  Before the
+   reset, the inherited handler swallowed the signal and the worker sat
+   in its read loop forever. *)
+let test_pool_worker_dies_on_direct_sigterm () =
+  let old = Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> ())) in
+  Fun.protect ~finally:(fun () -> Sys.set_signal Sys.sigterm old) @@ fun () ->
+  let p = P.create ~workers:2 (fun i -> J.Int i) in
+  Fun.protect ~finally:(fun () -> P.shutdown p) @@ fun () ->
+  let pids = P.worker_pids p in
+  Alcotest.(check int) "two workers" 2 (List.length pids);
+  (* a pong proves the worker reached its frame loop — i.e. is past the
+     point where it reset the inherited SIGTERM disposition *)
+  Alcotest.(check (list bool)) "workers up" [ true; true ] (P.ping p);
+  List.iter (fun pid -> Unix.kill pid Sys.sigterm) pids;
+  Alcotest.(check bool) "workers died despite inherited handler" true
+    (poll_until_gone pids);
+  Alcotest.(check (list bool)) "pool sees both dead" [ false; false ]
+    (P.alive p)
+
+(* A pool parent killed outright (SIGKILL: no drain, no atexit) must not
+   orphan live workers: the kernel closes the parent's request-pipe
+   ends, each worker reads EOF at its next frame boundary and exits. *)
+let test_pool_orphans_reaped_on_parent_kill () =
+  let r, w = Unix.pipe () in
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+      Unix.close r;
+      (try
+         let p = P.create ~workers:2 (fun i -> J.Int i) in
+         Harness.Wire.write_frame w
+           (J.List (List.map (fun pid -> J.Int pid) (P.worker_pids p)));
+         (* hold the pool open until the parent kills us *)
+         ignore (Unix.select [] [] [] 600.0)
+       with _ -> Unix._exit 2);
+      Unix._exit 0
+  | mini ->
+      Unix.close w;
+      let pids =
+        match Harness.Wire.read_frame r with
+        | Some (Ok (J.List l)) ->
+            List.map (function J.Int p -> p | _ -> Alcotest.fail "bad pid") l
+        | _ -> Alcotest.fail "mini-parent never reported its workers"
+      in
+      Unix.close r;
+      Alcotest.(check int) "two workers reported" 2 (List.length pids);
+      Unix.kill mini Sys.sigkill;
+      ignore (Harness.Wire.waitpid_retry mini);
+      Alcotest.(check bool) "workers exit after parent SIGKILL" true
+        (poll_until_gone pids)
+
 (* --- registry sweeps through the pool engine --- *)
 
 let descr ~id run =
@@ -515,6 +700,19 @@ let () =
           Alcotest.test_case "work stealing" `Quick test_pool_work_stealing;
           Alcotest.test_case "alive/ping/shutdown" `Quick
             test_pool_alive_ping_shutdown;
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "submit/step" `Quick test_pool_service_submit_step;
+          Alcotest.test_case "crash and deadline" `Quick
+            test_pool_service_crash_and_deadline;
+        ] );
+      ( "signals",
+        [
+          Alcotest.test_case "worker dies on direct SIGTERM" `Quick
+            test_pool_worker_dies_on_direct_sigterm;
+          Alcotest.test_case "orphans reaped on parent kill" `Quick
+            test_pool_orphans_reaped_on_parent_kill;
         ] );
       ( "registry",
         [
