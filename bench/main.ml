@@ -1,11 +1,13 @@
 (* Benchmark harness entry point: a generic driver over the experiment
    registry (tables T1-T12 + ablations A1-A2, figures F1-F6, Bechamel
-   microbenchmarks B0-B16).
+   microbenchmarks B0-B16, subgraph S1-S2, biggraph G1-G2, double-oracle
+   D1-D3).
 
      dune exec bench/main.exe                       # everything, full scale
      dune exec bench/main.exe -- tables             # legacy group selectors
      dune exec bench/main.exe -- figures            #   (tables|figures|micro
-     dune exec bench/main.exe -- micro              #    |smoke|all)
+     dune exec bench/main.exe -- micro              #    |subgraph|biggraph
+     dune exec bench/main.exe -- oracle             #    |oracle|smoke|all)
      dune exec bench/main.exe -- smoke              # reduced-size sweep of the
                                                     # whole registry (runs
                                                     # under `dune runtest`)
@@ -34,7 +36,8 @@ module Runner = Experiments.Runner
 
 let usage () =
   prerr_endline
-    "usage: main.exe [tables|figures|micro|smoke|all] [--smoke] [--list]\n\
+    "usage: main.exe [tables|figures|micro|subgraph|biggraph|oracle|smoke|all]\n\
+    \       [--smoke] [--list]\n\
     \       [--only ID[,ID..]] [--json FILE] [--jobs N] [--pool]\n\
     \       [--timeout SECS]\n\
     \       [--metrics] [--trace]\n\

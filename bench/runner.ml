@@ -20,7 +20,9 @@ let ensure_registered () =
     (* last: the S and G families land after the tuple experiments,
        keeping tuple artifact prefixes stable *)
     Exp_subgraph.register ();
-    Exp_biggraph.register ()
+    Exp_biggraph.register ();
+    (* last again: the D family (double-oracle) postdates S and G *)
+    Exp_oracle.register ()
   end
 
 (* Legacy group selectors, mapped by id prefix: T*/A* are the table
@@ -31,6 +33,7 @@ let group_prefixes = function
   | "micro" -> Some [ "B" ]
   | "subgraph" -> Some [ "S" ]
   | "biggraph" -> Some [ "G" ]
+  | "oracle" -> Some [ "D" ]
   | "all" | "smoke" -> Some []
   | _ -> None
 
@@ -55,7 +58,9 @@ let list_text () =
 type opts = {
   scale : E.scale;
   only : string list;  (** experiment ids; [[]] = no id filter *)
-  group : string;  (** legacy selector: tables|figures|micro|smoke|all *)
+  group : string;
+      (** legacy selector:
+          tables|figures|micro|subgraph|biggraph|oracle|smoke|all *)
   json_out : string option;
   echo : bool;
   force_degrade : string list;
@@ -113,7 +118,7 @@ let run opts =
     | _, None ->
         Printf.eprintf
           "error: unknown selector %S (use \
-           tables|figures|micro|subgraph|biggraph|smoke|all)\n"
+           tables|figures|micro|subgraph|biggraph|oracle|smoke|all)\n"
           opts.group;
         None
     | Ok es, Some prefixes -> Some (List.filter (in_group prefixes) es)

@@ -338,37 +338,138 @@ let solve_cmd =
       & opt (some string) None
       & info [ "save" ] ~docv:"FILE" ~doc:"Write the equilibrium profile to FILE.")
   in
-  let run file family seed nu k verify save metrics trace =
+  let method_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("characterization", `Characterization);
+               ("double-oracle", `Double_oracle);
+             ])
+          `Characterization
+      & info [ "method" ] ~docv:"METHOD"
+          ~doc:
+            "Solver: $(b,characterization) (the paper's A_tuple closed forms; \
+             tuple game only) or $(b,double-oracle) (column generation over \
+             exact best-response oracles — any instance, either game).")
+  in
+  (* The double-oracle report, shared by both games: the invariant
+     quantities plus the loop accounting, over already-extracted plain
+     values (the two instantiations of the solver functor have distinct
+     result types). *)
+  let print_double_oracle ~nu ~value ~iterations ~oracle_calls ~warm_solves
+      ~final_rows ~final_cols ~sigma_support ~tp_support =
+    Printf.printf "game value (per-attacker interception): %s\n"
+      (Exact.Q.to_string value);
+    Printf.printf "defender gain: %s (= nu * value)\n"
+      (Exact.Q.to_string (Exact.Q.mul_int value nu));
+    Printf.printf "attacker escape probability: %s\n"
+      (Exact.Q.to_string (Exact.Q.sub Exact.Q.one value));
+    Printf.printf
+      "double-oracle: %d iterations, %d oracle calls, %d warm solves, final \
+       restricted game %dx%d, support %d vertices x %d strategies\n"
+      iterations oracle_calls warm_solves final_rows final_cols sigma_support
+      tp_support
+  in
+  let run file family seed nu k game lambda method_ verify save metrics trace =
     handle (fun () ->
         with_obs ~metrics ~trace @@ fun () ->
         let g = load_graph file family seed in
-        let m = Defender.Model.make ~graph:g ~nu ~k in
-        match Defender.Tuple_nash.a_tuple_auto m with
-        | Error e -> Printf.printf "no k-matching NE: %s\n" e
-        | Ok prof ->
-            Format.printf "%a@." Defender.Profile.pp prof;
-            Printf.printf "defender gain: %s (= k*nu/|IS|)\n"
-              (Exact.Q.to_string (Defender.Gain.defender_gain prof));
-            Printf.printf "attacker escape probability: %s\n"
-              (Exact.Q.to_string (Defender.Gain.escape_probability prof 0));
-            let mode =
-              if verify then Defender.Verify.Exhaustive 2_000_000
-              else Defender.Verify.Certificate
-            in
-            Printf.printf "verification (%s): %s\n"
-              (if verify then "exhaustive" else "certificate")
-              (Defender.Verify.verdict_to_string (Defender.Verify.mixed_ne mode prof));
+        match (method_, game) with
+        | `Characterization, `Subgraph ->
+            failwith
+              "the characterization solver covers the tuple game only; use \
+               --method double-oracle for the subgraph game"
+        | `Characterization, `Tuple -> (
+            let m = Defender.Model.make ~graph:g ~nu ~k in
+            match Defender.Tuple_nash.a_tuple_auto m with
+            | Error e -> Printf.printf "no k-matching NE: %s\n" e
+            | Ok prof ->
+                Format.printf "%a@." Defender.Profile.pp prof;
+                Printf.printf "defender gain: %s (= k*nu/|IS|)\n"
+                  (Exact.Q.to_string (Defender.Gain.defender_gain prof));
+                Printf.printf "attacker escape probability: %s\n"
+                  (Exact.Q.to_string (Defender.Gain.escape_probability prof 0));
+                let mode =
+                  if verify then Defender.Verify.Exhaustive 2_000_000
+                  else Defender.Verify.Certificate
+                in
+                Printf.printf "verification (%s): %s\n"
+                  (if verify then "exhaustive" else "certificate")
+                  (Defender.Verify.verdict_to_string
+                     (Defender.Verify.mixed_ne mode prof));
+                match save with
+                | Some path ->
+                    Defender.Profile_io.save path prof;
+                    Printf.printf "profile written to %s\n" path
+                | None -> ())
+        | `Double_oracle, `Tuple -> (
+            let m = Defender.Model.make ~graph:g ~nu ~k in
+            let module DO = Solver.Instances.Tuple in
+            let r = DO.solve m in
+            print_double_oracle ~nu ~value:r.DO.value
+              ~iterations:r.DO.stats.DO.iterations
+              ~oracle_calls:r.DO.stats.DO.oracle_calls
+              ~warm_solves:r.DO.stats.DO.warm_solves
+              ~final_rows:r.DO.stats.DO.final_rows
+              ~final_cols:r.DO.stats.DO.final_cols
+              ~sigma_support:(Dist.Finite.support_size r.DO.sigma)
+              ~tp_support:(List.length r.DO.tp);
+            let prof = DO.profile m r in
+            Printf.printf "verification (oracle): %s\n"
+              (Defender.Verify.verdict_to_string
+                 (Defender.Verify.mixed_ne Defender.Verify.Oracle prof));
+            if verify then
+              Printf.printf "verification (exhaustive): %s\n"
+                (Defender.Verify.verdict_to_string
+                   (Defender.Verify.mixed_ne
+                      (Defender.Verify.Exhaustive 2_000_000)
+                      prof));
             match save with
             | Some path ->
                 Defender.Profile_io.save path prof;
                 Printf.printf "profile written to %s\n" path
             | None -> ())
+        | `Double_oracle, `Subgraph ->
+            if save <> None then
+              failwith
+                "--save writes Profile_io format, which covers the tuple game \
+                 only";
+            let inst = Defender.Subgraph_game.make ~graph:g ~nu ~lambda in
+            let module DOS = Solver.Instances.Subgraph in
+            let module SEngine = Defender.Subgraph_instance.Engine in
+            let r = DOS.solve inst in
+            print_double_oracle ~nu ~value:r.DOS.value
+              ~iterations:r.DOS.stats.DOS.iterations
+              ~oracle_calls:r.DOS.stats.DOS.oracle_calls
+              ~warm_solves:r.DOS.stats.DOS.warm_solves
+              ~final_rows:r.DOS.stats.DOS.final_rows
+              ~final_cols:r.DOS.stats.DOS.final_cols
+              ~sigma_support:(Dist.Finite.support_size r.DOS.sigma)
+              ~tp_support:(List.length r.DOS.tp);
+            let prof = DOS.profile inst r in
+            Printf.printf "verification (oracle): %s\n"
+              (SEngine.Verify.verdict_to_string
+                 (SEngine.Verify.mixed_ne SEngine.Verify.Oracle prof));
+            if verify then
+              Printf.printf "verification (exhaustive): %s\n"
+                (SEngine.Verify.verdict_to_string
+                   (SEngine.Verify.mixed_ne
+                      (SEngine.Verify.Exhaustive 2_000_000)
+                      prof)))
   in
-  Cmd.v (Cmd.info "solve" ~doc:"Compute a k-matching Nash equilibrium.")
+  Cmd.v
+    (Cmd.info "solve"
+       ~doc:
+         "Compute an exact Nash equilibrium: the paper's closed-form \
+          characterization, or the double-oracle solver for instances beyond \
+          it.")
     Term.(
       ret
-        (const run $ file_arg $ family_arg $ seed_arg $ nu_arg $ k_arg $ verify_arg
-       $ save_arg $ metrics_arg $ trace_arg))
+        (const run $ file_arg $ family_arg $ seed_arg $ nu_arg $ k_arg $ game_arg
+       $ lambda_arg $ method_arg $ verify_arg $ save_arg $ metrics_arg
+       $ trace_arg))
 
 (* verify: re-check a saved profile *)
 let verify_cmd =
@@ -688,7 +789,18 @@ let query_cmd =
       value
       & opt (some string) None
       & info [ "mode" ] ~docv:"MODE"
-          ~doc:"Verification mode: $(b,certificate) or $(b,exhaustive).")
+          ~doc:
+            "Verification mode: $(b,certificate), $(b,exhaustive) or \
+             $(b,oracle).")
+  in
+  let solve_method_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "method" ] ~docv:"METHOD"
+          ~doc:
+            "Solve method sent with the request: $(b,characterization) \
+             (default) or $(b,double-oracle).")
   in
   let raw_arg =
     Arg.(
@@ -715,7 +827,7 @@ let query_cmd =
       (fun () -> really_input_string ic (in_channel_length ic))
   in
   let run socket port host retries op graph6 file family seed k nu game lambda
-      profile mode raw pretty =
+      profile mode solve_method raw pretty =
     handle (fun () ->
         let module Json = Harness.Json in
         let address = address_of socket port host in
@@ -762,6 +874,9 @@ let query_cmd =
                      (match mode with
                      | Some m -> [ ("mode", Json.String m) ]
                      | None -> []);
+                     (match solve_method with
+                     | Some m -> [ ("method", Json.String m) ]
+                     | None -> []);
                    ])
         in
         let conn = Harness.Daemon.Client.connect ~retries address in
@@ -784,7 +899,8 @@ let query_cmd =
       ret
         (const run $ socket_arg $ port_arg $ host_arg $ retries_arg $ op_arg
        $ graph6_arg $ file_arg $ family_arg $ seed_arg $ k_arg $ nu_arg
-       $ game_arg $ lambda_arg $ profile_arg $ mode_arg $ raw_arg $ pretty_arg))
+       $ game_arg $ lambda_arg $ profile_arg $ mode_arg $ solve_method_arg
+       $ raw_arg $ pretty_arg))
 
 let () =
   let info =

@@ -37,6 +37,7 @@ module type S = sig
     edge_load:(Graph.edge_id -> Q.t) ->
     Q.t
 
+  val best_response_weighted : instance -> weight:Q.t array -> Strategy.t
   val greedy_response : instance -> load:int array -> Strategy.t
   val greedy_coverage_response : instance -> load:int array -> Strategy.t
   val greedy_by_counts : instance -> counts:int array -> Strategy.t

@@ -94,6 +94,18 @@ module type S = sig
     edge_load:(Graph.edge_id -> Exact.Q.t) ->
     Exact.Q.t
 
+  (** An EXACT best response to nonnegative per-vertex weights: a pure
+      strategy maximizing the total weight of its covered vertices,
+      deterministically chosen (same instance and weights, same
+      strategy).  [weight] has length [Graph.n (graph i)].  This is the
+      defender-side oracle the double-oracle solver ([Solver]) column-
+      generates with, so exactness is contractual: implementations may
+      prune (branch-and-bound) but never approximate — a suboptimal
+      answer silently corrupts the equilibrium certificate.
+      @raise Invalid_argument on a weight vector of the wrong length. *)
+  val best_response_weighted :
+    instance -> weight:Exact.Q.t array -> Strategy.t
+
   (** Greedy heuristic response to integer attacker counts, for
       simulation loops on spaces too large to enumerate: maximize the
       marginal covered load. *)

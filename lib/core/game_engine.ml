@@ -328,6 +328,25 @@ module Make (G : Game.S) = struct
       G.value_upper_bound (Profile.instance m)
         ~load:(fun v -> Profile.expected_load ?naive m v)
         ~edge_load:(fun id -> Profile.expected_load_edge ?naive m id)
+
+    (* One count per weighted-oracle invocation — the double-oracle
+       solver's per-iteration cost unit. *)
+    let c_weighted_oracles = Obs.counter "br.weighted_oracles"
+
+    (* Exact defender best response through the game's weighted oracle:
+       the weights are the profile's expected per-vertex attacker loads,
+       so unlike [tp_best_exhaustive] this never walks the strategy
+       space and stays exact on spaces of any size. *)
+    let tp_best_weighted ?naive m =
+      Obs.incr c_weighted_oracles;
+      let g = graph m in
+      let weight =
+        Array.init (Graph.n g) (fun v -> Profile.expected_load ?naive m v)
+      in
+      G.best_response_weighted (Profile.instance m) ~weight
+
+    let tp_best_value_weighted ?naive m =
+      Profile.expected_load_strategy ?naive m (tp_best_weighted ?naive m)
   end
 
   module Pure = struct
@@ -377,7 +396,7 @@ module Make (G : Game.S) = struct
   end
 
   module Verify = struct
-    type mode = Exhaustive of int | Certificate
+    type mode = Exhaustive of int | Certificate | Oracle
     type verdict = Confirmed | Refuted of string | Unknown of string
 
     let verdict_is_confirmed = function
@@ -447,6 +466,17 @@ module Make (G : Game.S) = struct
                    "support value %s below top-k edge-load bound %s; \
                     certificate inconclusive"
                    (Q.to_string low) (Q.to_string bound))
+        | Oracle ->
+            (* Exact and complete at any space size: the weighted oracle
+               returns a true best response, so the comparison decides. *)
+            let best = Best_response.tp_best_value_weighted ?naive m in
+            if Q.( < ) low best then
+              Refuted
+                (Printf.sprintf
+                   "defender can deviate to a strategy of value %s > %s \
+                    (weighted oracle)"
+                   (Q.to_string best) (Q.to_string low))
+            else Confirmed
 
     let mixed_ne ?naive mode m =
       match vp_side ?naive m with

@@ -26,7 +26,7 @@ let solve g =
   let c = Array.make n Q.one in
   match Lp.Simplex.maximize ~a ~b ~c with
   | Lp.Simplex.Unbounded -> assert false (* y <= 1 componentwise *)
-  | Lp.Simplex.Optimal { objective; x = packing; dual = cover } ->
+  | Lp.Simplex.Optimal { objective; x = packing; dual = cover; _ } ->
       let rho_star = objective in
       let marginals = Array.map (fun xe -> Q.div xe rho_star) cover in
       {

@@ -112,6 +112,29 @@ let value_upper_bound inst ~load ~edge_load:_ =
   in
   take 0 Q.zero loads
 
+(* Exact weighted best response by enumeration: connectivity couples the
+   choices, so unlike the tuple game there is no useful prefix bound —
+   walk every connected λ-subset (the same reverse-search enumeration
+   [fold_strategies] uses) and keep the first maximum.  Exactness is
+   what the double-oracle loop's certificate rests on; the enumeration
+   price is the price of the subgraph variant at this λ. *)
+let best_response_weighted inst ~weight =
+  if Array.length weight <> Graph.n inst.graph then
+    invalid_arg "Subgraph_game.best_response_weighted: |weight| <> n";
+  let value s =
+    Array.fold_left (fun acc v -> Q.add acc weight.(v)) Q.zero s
+  in
+  let best =
+    fold_strategies inst ~init:None ~f:(fun acc s ->
+        let v = value s in
+        match acc with
+        | Some (_, bv) when Q.( >= ) bv v -> acc
+        | _ -> Some (s, v))
+  in
+  match best with
+  | Some (s, _) -> s
+  | None -> assert false (* instance graphs are connected and λ <= n *)
+
 (* [v] touches the current set iff some CSR-row neighbor is marked;
    scanned without copying the row, bailing at the first hit. *)
 let touches_set g in_set v =

@@ -61,6 +61,106 @@ let value_upper_bound inst ~load:_ ~edge_load =
   in
   take 0 Q.zero loads
 
+(* Exact weighted best response: the k-edge tuple maximizing the summed
+   weight of its covered vertices.  Weighted max coverage by k edges is
+   NP-hard in general, so there is no polynomial shortcut; instead:
+   depth-first branch-and-bound over edges sorted by endpoint weight sum
+   (descending, id ascending to fix ties), bounding each subtree by the
+   prefix sum of the best remaining edges — each counted with its full
+   endpoint sum, an upper bound on its marginal gain.  A greedy
+   incumbent seeds the search and only strict improvements replace it,
+   so the answer is deterministic in (instance, weight). *)
+let best_response_weighted inst ~weight =
+  let g = Model.graph inst in
+  let n = Graph.n g and m = Graph.m g and k = Model.k inst in
+  if Array.length weight <> n then
+    invalid_arg "Tuple_game.best_response_weighted: |weight| <> n";
+  let ew =
+    Array.init m (fun id ->
+        let e = Graph.edge g id in
+        Q.add weight.(e.Graph.u) weight.(e.Graph.v))
+  in
+  let order = Array.init m Fun.id in
+  Array.sort
+    (fun a b ->
+      match Q.compare ew.(b) ew.(a) with 0 -> compare a b | c -> c)
+    order;
+  let prefix = Array.make (m + 1) Q.zero in
+  for i = 0 to m - 1 do
+    prefix.(i + 1) <- Q.add prefix.(i) ew.(order.(i))
+  done;
+  let covered = Array.make n false in
+  let mark_gain id =
+    let e = Graph.edge g id in
+    let gain =
+      Q.add
+        (if covered.(e.Graph.u) then Q.zero else weight.(e.Graph.u))
+        (if covered.(e.Graph.v) then Q.zero else weight.(e.Graph.v))
+    in
+    covered.(e.Graph.u) <- true;
+    covered.(e.Graph.v) <- true;
+    gain
+  in
+  (* Greedy incumbent: k passes of best marginal gain, scanning in
+     sorted order so the first maximum wins. *)
+  let seed_picks = ref [] and seed_val = ref Q.zero in
+  let chosen = Array.make m false in
+  for _ = 1 to k do
+    let best = ref (-1) and best_gain = ref Q.zero in
+    for idx = 0 to m - 1 do
+      let id = order.(idx) in
+      if not chosen.(id) then begin
+        let e = Graph.edge g id in
+        let gain =
+          Q.add
+            (if covered.(e.Graph.u) then Q.zero else weight.(e.Graph.u))
+            (if covered.(e.Graph.v) then Q.zero else weight.(e.Graph.v))
+        in
+        if !best < 0 || Q.( > ) gain !best_gain then begin
+          best := id;
+          best_gain := gain
+        end
+      end
+    done;
+    chosen.(!best) <- true;
+    seed_val := Q.add !seed_val (mark_gain !best);
+    seed_picks := !best :: !seed_picks
+  done;
+  Array.fill covered 0 n false;
+  let best_picks = ref (List.rev !seed_picks) and best_val = ref !seed_val in
+  let current = Array.make k 0 in
+  let rec go pos taken value =
+    if taken = k then begin
+      if Q.( > ) value !best_val then begin
+        best_val := value;
+        best_picks := Array.to_list (Array.sub current 0 k)
+      end
+    end
+    else if m - pos >= k - taken then begin
+      let bound = Q.add value (Q.sub prefix.(pos + (k - taken)) prefix.(pos)) in
+      if Q.( > ) bound !best_val then begin
+        let id = order.(pos) in
+        let e = Graph.edge g id in
+        let u = e.Graph.u and v = e.Graph.v in
+        let fresh_u = not covered.(u) and fresh_v = not covered.(v) in
+        let gain =
+          Q.add
+            (if fresh_u then weight.(u) else Q.zero)
+            (if fresh_v then weight.(v) else Q.zero)
+        in
+        current.(taken) <- id;
+        if fresh_u then covered.(u) <- true;
+        if fresh_v then covered.(v) <- true;
+        go (pos + 1) (taken + 1) (Q.add value gain);
+        if fresh_u then covered.(u) <- false;
+        if fresh_v then covered.(v) <- false;
+        go (pos + 1) taken value
+      end
+    end
+  in
+  go 0 0 Q.zero;
+  Tuple.of_list g !best_picks
+
 (* Greedy max-coverage response to integer vertex loads: k passes
    picking the edge with the best marginal covered load; shared by the
    sim loops (Fictitious keeps its historical error prefix via [err]).

@@ -13,6 +13,11 @@ type mode = Tuple_instance.Engine.Verify.mode =
   | Certificate
       (** compare against the top-k edge-load upper bound; sound but
           incomplete (can answer [Unknown]) *)
+  | Oracle
+      (** compare against the game's exact weighted best-response oracle
+          ({!Game.S.best_response_weighted}): complete like [Exhaustive]
+          but enumeration-free, so it decides on strategy spaces of any
+          size *)
 
 type verdict = Tuple_instance.Engine.Verify.verdict =
   | Confirmed

@@ -1,0 +1,116 @@
+(* Zero-sum matrix games by one exact-simplex run.  See matrix_game.mli
+   for the contract; the derivation used here:
+
+   Shift M by s so that M' = M + s has every entry >= 1 (shifting the
+   payoff changes the value by s and no strategy).  The column player's
+   optimal mix solves  min_y max_i (M'y)_i ; substituting w = y / v'
+   (v' the shifted value, > 0) turns it into the packing LP
+
+     max sum_j w_j   s.t.  M'w <= 1,  w >= 0
+
+   whose optimum is 1/v'.  Then y = w / sum w, and by strong duality the
+   dual vector u (one multiplier per row) has sum u = sum w with
+   x = u / sum u the row player's optimal mix.  Exact rationals make
+   both read-offs equalities, so the result is a certificate. *)
+
+module Q = Exact.Q
+
+type solution = {
+  value : Q.t;
+  row_strategy : Q.t array;
+  col_strategy : Q.t array;
+  basis : int array;
+}
+
+type warm = { w_basis : int array; w_rows : int; w_cols : int }
+
+let warm ~rows ~cols (sol : solution) =
+  { w_basis = sol.basis; w_rows = rows; w_cols = cols }
+
+let check_shape m =
+  let rows = Array.length m in
+  if rows = 0 then invalid_arg "Matrix_game.solve: empty matrix";
+  let cols = Array.length m.(0) in
+  if cols = 0 then invalid_arg "Matrix_game.solve: empty matrix";
+  Array.iter
+    (fun row ->
+      if Array.length row <> cols then
+        invalid_arg "Matrix_game.solve: ragged matrix")
+    m;
+  (rows, cols)
+
+(* Remap a basis recorded on a rows×cols0 problem to the current
+   rows×cols one: structural indices are stable, slack indices shift by
+   the number of appended columns.  Only column growth is remappable —
+   a changed row count changes the basis length itself. *)
+let remap_warm ~rows ~cols = function
+  | Some { w_basis; w_rows; w_cols }
+    when w_rows = rows && w_cols <= cols && Array.length w_basis = rows ->
+      Some
+        (Array.map (fun j -> if j < w_cols then j else j - w_cols + cols) w_basis)
+  | _ -> None
+
+let solve ?warm m =
+  let rows, cols = check_shape m in
+  let lo =
+    Array.fold_left
+      (fun acc row -> Array.fold_left Q.min acc row)
+      m.(0).(0) m
+  in
+  let shift = if Q.( < ) lo Q.one then Q.sub Q.one lo else Q.zero in
+  let a =
+    Array.map (fun row -> Array.map (fun v -> Q.add v shift) row) m
+  in
+  let b = Array.make rows Q.one in
+  let c = Array.make cols Q.one in
+  let outcome =
+    match remap_warm ~rows ~cols warm with
+    | Some warm_start -> Simplex.maximize_warm ~warm_start ~a ~b ~c
+    | None -> Simplex.maximize ~a ~b ~c
+  in
+  match outcome with
+  | Simplex.Unbounded ->
+      (* Impossible: every entry of [a] is >= 1, so sum w <= 1 over any
+         single constraint row. *)
+      assert false
+  | Simplex.Optimal { objective; x = w; dual = u; basis } ->
+      (* objective = 1/v' > 0 since v' is finite and positive. *)
+      assert (Q.( > ) objective Q.zero);
+      let usum = Array.fold_left Q.add Q.zero u in
+      (* Strong duality, exactly. *)
+      assert (Q.equal usum objective);
+      let value = Q.sub (Q.inv objective) shift in
+      let col_strategy = Array.map (fun wj -> Q.div wj objective) w in
+      let row_strategy = Array.map (fun ui -> Q.div ui objective) u in
+      { value; row_strategy; col_strategy; basis }
+
+let is_distribution p =
+  Array.for_all (fun v -> Q.( >= ) v Q.zero) p
+  && Q.equal (Array.fold_left Q.add Q.zero p) Q.one
+
+let is_equilibrium m (sol : solution) =
+  let rows, cols = check_shape m in
+  Array.length sol.row_strategy = rows
+  && Array.length sol.col_strategy = cols
+  && is_distribution sol.row_strategy
+  && is_distribution sol.col_strategy
+  (* No row beats the value against the column mix... *)
+  && Array.for_all
+       (fun row ->
+         let payoff = ref Q.zero in
+         Array.iteri
+           (fun j v -> payoff := Q.add !payoff (Q.mul v sol.col_strategy.(j)))
+           row;
+         Q.( <= ) !payoff sol.value)
+       m
+  (* ...and no column drops below it against the row mix. *)
+  &&
+  let ok = ref true in
+  for j = 0 to cols - 1 do
+    let payoff = ref Q.zero in
+    for i = 0 to rows - 1 do
+      payoff := Q.add !payoff (Q.mul m.(i).(j) sol.row_strategy.(i))
+    done;
+    if Q.( < ) !payoff sol.value then ok := false
+  done;
+  !ok

@@ -1,0 +1,56 @@
+(** Exact Nash solutions of finite two-player zero-sum matrix games.
+
+    [solve m] takes the m×n payoff matrix of the ROW player (the
+    maximizer; the column player minimizes the same quantity) and
+    returns the game value together with optimal mixed strategies for
+    both sides, all as exact rationals — by the minimax theorem the pair
+    is a Nash equilibrium and the value is unique.  The computation is
+    one primal-simplex run ({!Simplex}): the matrix is shifted so every
+    entry is ≥ 1, the column player's strategy is read off the packing
+    optimum [max Σ w subject to M'w ≤ 1], and the row player's off the
+    dual; exact arithmetic makes strong duality an equality, not an
+    approximation.
+
+    This is the restricted-game kernel of the double-oracle solver
+    ({!Solver.Double_oracle}), which re-solves a slowly growing matrix
+    every iteration — hence the warm-restart support threading the
+    previous simplex basis through column growth. *)
+
+module Q = Exact.Q
+
+type solution = {
+  value : Q.t;  (** the game value, payoff to the row maximizer *)
+  row_strategy : Q.t array;  (** maximizer mix over rows; sums to 1 *)
+  col_strategy : Q.t array;  (** minimizer mix over columns; sums to 1 *)
+  basis : int array;  (** simplex basis certificate, for {!warm} *)
+}
+
+type warm
+(** A warm-restart token: the basis of a previous {!solve} plus the
+    shape it was computed for. *)
+
+(** [warm ~rows ~cols sol] packages [sol] (obtained on a [rows]×[cols]
+    matrix) for reuse by a later {!solve}. *)
+val warm : rows:int -> cols:int -> solution -> warm
+
+(** [solve ?warm m] computes value and optimal mixed strategies of the
+    zero-sum game with row-maximizer payoff matrix [m] (m×n, m,n ≥ 1).
+
+    When [?warm] is given and the new matrix extends the old one by
+    appended columns only (same row count, [cols' ≥ cols], earlier
+    columns unchanged in meaning), the previous basis is remapped and
+    reused — appended columns enter at weight 0, so the old optimum
+    stays feasible and the simplex merely prices the newcomers.  Any
+    shape mismatch, or a basis the new data rejects, falls back to a
+    cold solve.  Either way the result is an exact equilibrium at the
+    unique game value; in degenerate games with several optimal bases
+    the warm and cold paths may return different (equally optimal)
+    strategies.
+    @raise Invalid_argument on an empty or ragged matrix. *)
+val solve : ?warm:warm -> Q.t array array -> solution
+
+(** [is_equilibrium m sol] checks the certificate exactly: both
+    strategies are distributions, no pure row deviation exceeds
+    [sol.value] against [sol.col_strategy], and no pure column deviation
+    drops below it against [sol.row_strategy]. *)
+val is_equilibrium : Q.t array array -> solution -> bool

@@ -1,6 +1,12 @@
 module Q = Exact.Q
 
-type solution = { objective : Q.t; x : Q.t array; dual : Q.t array }
+type solution = {
+  objective : Q.t;
+  x : Q.t array;
+  dual : Q.t array;
+  basis : int array;
+}
+
 type outcome = Optimal of solution | Unbounded
 
 let feasible ~a ~b ~x =
@@ -18,7 +24,7 @@ let value ~c ~x =
   Array.iteri (fun j cj -> acc := Q.add !acc (Q.mul cj x.(j))) c;
   !acc
 
-let maximize ~a ~b ~c =
+let solve ~warm_start ~a ~b ~c =
   let m = Array.length a in
   let n = Array.length c in
   Array.iter
@@ -34,19 +40,97 @@ let maximize ~a ~b ~c =
   let cols = n + m in
   (* Tableau rows: constraints with slack identity appended; the reduced
      cost row is kept separately. *)
-  let tab = Array.init m (fun _ -> Array.make (cols + 1) Q.zero) in
-  for i = 0 to m - 1 do
-    for j = 0 to n - 1 do
-      tab.(i).(j) <- a.(i).(j)
+  let fresh () =
+    let tab = Array.init m (fun _ -> Array.make (cols + 1) Q.zero) in
+    for i = 0 to m - 1 do
+      for j = 0 to n - 1 do
+        tab.(i).(j) <- a.(i).(j)
+      done;
+      tab.(i).(n + i) <- Q.one;
+      tab.(i).(cols) <- b.(i)
     done;
-    tab.(i).(n + i) <- Q.one;
-    tab.(i).(cols) <- b.(i)
-  done;
-  let reduced = Array.make cols Q.zero in
-  for j = 0 to n - 1 do
-    reduced.(j) <- c.(j)
-  done;
-  let basis = Array.init m (fun i -> n + i) in
+    let reduced = Array.make cols Q.zero in
+    for j = 0 to n - 1 do
+      reduced.(j) <- c.(j)
+    done;
+    (tab, reduced, Array.init m (fun i -> n + i))
+  in
+  (* Pivot column [j] into row [r]: normalize, eliminate elsewhere, and
+     keep the reduced-cost row in step.  Shared by the warm-start
+     reconstruction and the main loop. *)
+  let pivot_on tab reduced basis r j =
+    let pivot = tab.(r).(j) in
+    for jj = 0 to cols do
+      tab.(r).(jj) <- Q.div tab.(r).(jj) pivot
+    done;
+    for i = 0 to m - 1 do
+      if i <> r && not (Q.is_zero tab.(i).(j)) then begin
+        let factor = tab.(i).(j) in
+        for jj = 0 to cols do
+          tab.(i).(jj) <- Q.sub tab.(i).(jj) (Q.mul factor tab.(r).(jj))
+        done
+      end
+    done;
+    let factor = reduced.(j) in
+    if not (Q.is_zero factor) then
+      for jj = 0 to cols - 1 do
+        reduced.(jj) <- Q.sub reduced.(jj) (Q.mul factor tab.(r).(jj))
+      done;
+    basis.(r) <- j
+  in
+  (* A warm basis must be well-formed (one distinct column index per row);
+     whether it is usable — nonsingular and primal feasible for THIS
+     tableau — is checked by attempting the Gauss-Jordan reconstruction
+     and falling back to the all-slack cold start if it fails.  That
+     split matters: a malformed basis is a caller bug, while an unusable
+     one is the expected outcome of reusing a basis after the problem
+     changed shape (e.g. a new restricted-game row cutting off the old
+     optimum). *)
+  let try_warm wb =
+    if Array.length wb <> m then
+      invalid_arg "Simplex.maximize: warm-start basis length <> rows";
+    let seen = Hashtbl.create m in
+    Array.iter
+      (fun j ->
+        if j < 0 || j >= cols then
+          invalid_arg "Simplex.maximize: warm-start basis index out of range";
+        if Hashtbl.mem seen j then
+          invalid_arg "Simplex.maximize: duplicate warm-start basis index";
+        Hashtbl.add seen j ())
+      wb;
+    let tab, reduced, basis = fresh () in
+    let assigned = Array.make m false in
+    let ok = ref true in
+    Array.iter
+      (fun j ->
+        if !ok then begin
+          (* First unassigned row with a nonzero entry in column j keeps
+             the reconstruction deterministic. *)
+          let r = ref (-1) in
+          (try
+             for i = 0 to m - 1 do
+               if (not assigned.(i)) && not (Q.is_zero tab.(i).(j)) then begin
+                 r := i;
+                 raise Exit
+               end
+             done
+           with Exit -> ());
+          if !r < 0 then ok := false (* singular: column dependent *)
+          else begin
+            pivot_on tab reduced basis !r j;
+            assigned.(!r) <- true
+          end
+        end)
+      wb;
+    if !ok && Array.for_all (fun row -> Q.( >= ) row.(cols) Q.zero) tab then
+      Some (tab, reduced, basis)
+    else None
+  in
+  let tab, reduced, basis =
+    match warm_start with
+    | Some wb -> ( match try_warm wb with Some s -> s | None -> fresh ())
+    | None -> fresh ()
+  in
   let rec iterate () =
     (* Bland: entering variable = least index with positive reduced cost. *)
     let entering = ref (-1) in
@@ -65,7 +149,7 @@ let maximize ~a ~b ~c =
         (fun i var -> if var < n then x.(var) <- tab.(i).(cols))
         basis;
       let dual = Array.init m (fun i -> Q.neg reduced.(n + i)) in
-      Optimal { objective = value ~c ~x; x; dual }
+      Optimal { objective = value ~c ~x; x; dual; basis = Array.copy basis }
     end
     else begin
       let j = !entering in
@@ -88,29 +172,14 @@ let maximize ~a ~b ~c =
       done;
       if !leaving < 0 then Unbounded
       else begin
-        let r = !leaving in
-        (* Normalize the pivot row. *)
-        let pivot = tab.(r).(j) in
-        for jj = 0 to cols do
-          tab.(r).(jj) <- Q.div tab.(r).(jj) pivot
-        done;
-        (* Eliminate the entering column elsewhere. *)
-        for i = 0 to m - 1 do
-          if i <> r && not (Q.is_zero tab.(i).(j)) then begin
-            let factor = tab.(i).(j) in
-            for jj = 0 to cols do
-              tab.(i).(jj) <- Q.sub tab.(i).(jj) (Q.mul factor tab.(r).(jj))
-            done
-          end
-        done;
-        let factor = reduced.(j) in
-        if not (Q.is_zero factor) then
-          for jj = 0 to cols - 1 do
-            reduced.(jj) <- Q.sub reduced.(jj) (Q.mul factor tab.(r).(jj))
-          done;
-        basis.(r) <- j;
+        pivot_on tab reduced basis !leaving j;
         iterate ()
       end
     end
   in
   iterate ()
+
+let maximize ~a ~b ~c = solve ~warm_start:None ~a ~b ~c
+
+let maximize_warm ~warm_start ~a ~b ~c =
+  solve ~warm_start:(Some warm_start) ~a ~b ~c

@@ -6,9 +6,9 @@
 
     The non-negativity of [b] makes the all-slack basis feasible, so no
     phase-1 is needed; this covers the fractional covering/packing duals
-    the defender analysis requires (see {!Defender.Minimax}).  All
-    arithmetic is exact, so returned optima are certificates, not
-    approximations. *)
+    the defender analysis requires (see {!Defender.Minimax}) and the
+    restricted matrix games of {!Matrix_game}.  All arithmetic is exact,
+    so returned optima are certificates, not approximations. *)
 
 module Q = Exact.Q
 
@@ -18,17 +18,38 @@ type solution = {
   dual : Q.t array;
       (** dual optimum (one multiplier per row), read off the slack
           reduced costs; certifies optimality by strong duality *)
+  basis : int array;
+      (** the optimal basis: one column index per row, structural
+          variables first ([0..n-1]), then slacks ([n..n+m-1]).  Feed it
+          back through [?warm_start] to re-solve a related problem. *)
 }
 
 type outcome =
   | Optimal of solution
   | Unbounded
 
-(** [maximize ~a ~b ~c] solves the LP above.  [a] is the m×n constraint
-    matrix (rows of length n), [b] the m right-hand sides (all ≥ 0),
-    [c] the n objective coefficients.
+(** [maximize ~a ~b ~c] solves the LP above from the all-slack basis.
+    [a] is the m×n constraint matrix (rows of length n), [b] the m
+    right-hand sides (all ≥ 0), [c] the n objective coefficients.
     @raise Invalid_argument on ragged input or a negative entry in [b]. *)
 val maximize : a:Q.t array array -> b:Q.t array -> c:Q.t array -> outcome
+
+(** [maximize_warm ~warm_start ~a ~b ~c] is {!maximize} restarted from a
+    previously returned {!solution.basis}: the tableau is reconstructed
+    by Gauss-Jordan pivoting on the given columns, which prices out a
+    near-optimal start when the problem gained columns since the basis
+    was recorded.  A basis that is singular or primal-infeasible for the
+    current data (e.g. after new rows cut off the old optimum) silently
+    falls back to the cold start, so warm-started calls return exactly
+    what the cold call would — only faster when the basis still fits.
+    @raise Invalid_argument additionally on a malformed basis (wrong
+    length, out-of-range or duplicate index). *)
+val maximize_warm :
+  warm_start:int array ->
+  a:Q.t array array ->
+  b:Q.t array ->
+  c:Q.t array ->
+  outcome
 
 (** [feasible ~a ~b ~x]: does [x ≥ 0] satisfy [A x ≤ b]? *)
 val feasible : a:Q.t array array -> b:Q.t array -> x:Q.t array -> bool

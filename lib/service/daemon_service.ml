@@ -28,6 +28,12 @@ let get_game msg =
   | Some "subgraph" -> `Subgraph
   | Some other -> invalid_arg (Printf.sprintf "unknown game %S" other)
 
+let get_method msg =
+  match get_string "method" msg with
+  | None | Some "characterization" -> `Characterization
+  | Some "double-oracle" -> `Double_oracle
+  | Some other -> invalid_arg (Printf.sprintf "unknown solve method %S" other)
+
 (* The solve cache key: canonical form of the graph plus every parameter
    the answer depends on.  Solve only — its result payload is built
    exclusively from isomorphism-invariant quantities (gain, escape
@@ -66,9 +72,20 @@ let cache_key msg =
           | `Tuple -> ("tuple", get_int "k" msg ~default:1)
           | `Subgraph -> ("subgraph", get_int "lambda" msg ~default:1)
         in
+        (* The method joins the key only for double-oracle, so every key
+           minted before the method field existed stays valid — a
+           characterization solve hits the same entry whether or not the
+           client spells out the default. *)
+        let method_suffix =
+          match get_method msg with
+          | `Characterization -> ""
+          | `Double_oracle -> "|method=double-oracle"
+        in
         Some
-          (Printf.sprintf "%s|game=%s|p=%d|nu=%d" (canonical_of g6) game power
-             (get_int "nu" msg ~default:1))
+          (Printf.sprintf "%s|game=%s|p=%d|nu=%d%s" (canonical_of g6) game
+             power
+             (get_int "nu" msg ~default:1)
+             method_suffix)
       with _ -> None)
   | _ -> None
 
@@ -86,34 +103,89 @@ let profile_of msg m =
   | Some text -> Defender.Profile_io.of_string m text
   | None -> invalid_arg "missing string field \"profile\""
 
+(* The double-oracle solve payloads carry only isomorphism-invariant
+   quantities (value, gain, escape, a verdict) — NEVER the iteration or
+   oracle-call counts, which depend on vertex labels through the seed
+   sets and would poison the label-erasing cache key. *)
+let solve_double_oracle_tuple msg g =
+  let m = model_of msg g in
+  let module DO = Solver.Instances.Tuple in
+  let r = DO.solve m in
+  let prof = DO.profile m r in
+  ok
+    (Json.Obj
+       [
+         ("solvable", Json.Bool true);
+         ("value", q_string r.DO.value);
+         ( "gain",
+           q_string (Exact.Q.mul_int r.DO.value (get_int "nu" msg ~default:1))
+         );
+         ("escape", q_string (Exact.Q.sub Exact.Q.one r.DO.value));
+         ("rho", Json.Int (Matching.Edge_cover.rho g));
+         ( "verdict",
+           Json.String
+             (Defender.Verify.verdict_to_string
+                (Defender.Verify.mixed_ne Defender.Verify.Oracle prof)) );
+       ])
+
+let solve_double_oracle_subgraph msg g =
+  let inst =
+    Defender.Subgraph_game.make ~graph:g
+      ~nu:(get_int "nu" msg ~default:1)
+      ~lambda:(get_int "lambda" msg ~default:1)
+  in
+  let module DOS = Solver.Instances.Subgraph in
+  let module SEngine = Defender.Subgraph_instance.Engine in
+  let r = DOS.solve inst in
+  let prof = DOS.profile inst r in
+  ok
+    (Json.Obj
+       [
+         ("solvable", Json.Bool true);
+         ("value", q_string r.DOS.value);
+         ( "gain",
+           q_string (Exact.Q.mul_int r.DOS.value (get_int "nu" msg ~default:1))
+         );
+         ("escape", q_string (Exact.Q.sub Exact.Q.one r.DOS.value));
+         ( "verdict",
+           Json.String
+             (SEngine.Verify.verdict_to_string
+                (SEngine.Verify.mixed_ne SEngine.Verify.Oracle prof)) );
+       ])
+
 let solve msg =
   let g = get_graph msg in
-  (match get_game msg with
-  | `Tuple -> ()
-  | `Subgraph ->
-      invalid_arg "solve supports the tuple game only (no subgraph solver)");
-  let m = model_of msg g in
-  match Defender.Tuple_nash.a_tuple_auto m with
-  | Error reason ->
-      (* A negative answer is still an isomorphism-invariant fact about
-         the instance — cacheable, hence inside the ok envelope. *)
-      ok
-        (Json.Obj
-           [ ("solvable", Json.Bool false); ("reason", Json.String reason) ])
-  | Ok prof ->
-      ok
-        (Json.Obj
-           [
-             ("solvable", Json.Bool true);
-             ("gain", q_string (Defender.Gain.defender_gain prof));
-             ("escape", q_string (Defender.Gain.escape_probability prof 0));
-             ("rho", Json.Int (Matching.Edge_cover.rho g));
-             ( "verdict",
-               Json.String
-                 (Defender.Verify.verdict_to_string
-                    (Defender.Verify.mixed_ne Defender.Verify.Certificate prof))
-             );
-           ])
+  match (get_method msg, get_game msg) with
+  | `Double_oracle, `Tuple -> solve_double_oracle_tuple msg g
+  | `Double_oracle, `Subgraph -> solve_double_oracle_subgraph msg g
+  | `Characterization, `Subgraph ->
+      invalid_arg
+        "solve supports the tuple game only (no subgraph characterization); \
+         use \"method\":\"double-oracle\""
+  | `Characterization, `Tuple -> (
+      let m = model_of msg g in
+      match Defender.Tuple_nash.a_tuple_auto m with
+      | Error reason ->
+          (* A negative answer is still an isomorphism-invariant fact
+             about the instance — cacheable, hence inside the ok
+             envelope. *)
+          ok
+            (Json.Obj
+               [ ("solvable", Json.Bool false); ("reason", Json.String reason) ])
+      | Ok prof ->
+          ok
+            (Json.Obj
+               [
+                 ("solvable", Json.Bool true);
+                 ("gain", q_string (Defender.Gain.defender_gain prof));
+                 ("escape", q_string (Defender.Gain.escape_probability prof 0));
+                 ("rho", Json.Int (Matching.Edge_cover.rho g));
+                 ( "verdict",
+                   Json.String
+                     (Defender.Verify.verdict_to_string
+                        (Defender.Verify.mixed_ne Defender.Verify.Certificate
+                           prof)) );
+               ]))
 
 let profit msg =
   let g = get_graph msg in
@@ -138,6 +210,7 @@ let equilibrium_check msg =
     match get_string "mode" msg with
     | None | Some "certificate" -> Defender.Verify.Certificate
     | Some "exhaustive" -> Defender.Verify.Exhaustive 2_000_000
+    | Some "oracle" -> Defender.Verify.Oracle
     | Some other -> invalid_arg (Printf.sprintf "unknown verify mode %S" other)
   in
   let verdict = Defender.Verify.mixed_ne mode prof in

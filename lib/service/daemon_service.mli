@@ -3,7 +3,8 @@
     key, and the worker-side handler.
 
     {b Requests} (all fields beyond [op] and [graph6] optional, with
-    defaults [k = 1], [nu = 1], [lambda = 1], [game = "tuple"]):
+    defaults [k = 1], [nu = 1], [lambda = 1], [game = "tuple"],
+    [method = "characterization"]):
 
     - [{"op":"solve", "graph6":G6, "k":K, "nu":NU}] — run the A_tuple
       solver; the result reports only isomorphism-invariant facts:
@@ -11,17 +12,27 @@
       "verdict":string}] or [{"solvable":false, "reason":string}]
       (both cacheable answers).  Rational quantities are exact [p/q]
       strings.
+    - [{"op":"solve", …, "method":"double-oracle"}] — run the
+      {!Solver.Double_oracle} loop instead; works on any instance of
+      either game (["game":"subgraph"] reads [lambda]).  The result
+      again carries only invariants — [{"solvable":true, "value":Q,
+      "gain":Q, "escape":Q, "verdict":string}] (plus ["rho"] for the
+      tuple game), verified in the enumeration-free Oracle mode —
+      never the iteration or oracle-call counts, which depend on the
+      vertex labeling and would poison the label-erasing cache.
     - [{"op":"profit", "graph6":G6, "k":K, "nu":NU, "profile":text}] —
       evaluate a {!Defender.Profile_io}-format profile:
       [{"gain":Q, "escape":[Q, …]}] (one entry per attacker).
     - [{"op":"equilibrium-check", …, "profile":text,
-      "mode":"certificate"|"exhaustive"}] — re-verify a profile:
-      [{"confirmed":bool, "verdict":string}].
+      "mode":"certificate"|"exhaustive"|"oracle"}] — re-verify a
+      profile: [{"confirmed":bool, "verdict":string}].
 
     {b Caching.}  Only [solve] is cached, keyed on
     [Graph6.canonical g ^ "|game=…|p=…|nu=…"] — so relabelings of one
     instance share a cache entry, which is sound precisely because the
-    solve result carries no vertex or edge labels.  [profit] and
+    solve result carries no vertex or edge labels.  Double-oracle
+    solves append ["|method=double-oracle"], keeping every
+    pre-existing characterization key valid.  [profit] and
     [equilibrium-check] answers depend on the client's labeling (the
     profile names vertices and edges) and are never cached. *)
 

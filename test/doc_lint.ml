@@ -1,8 +1,11 @@
 (* Documentation lint, attached to both @doc and @runtest: every public
-   [.mli] under lib/ must open with a [(** ... *)] synopsis, and every
+   [.mli] under lib/ must open with a [(** ... *)] synopsis, every
    sublibrary must parse as a library (a dune file with a (name ...)
-   field).  Exit 0 when clean; exit 1 listing each offender otherwise,
-   so an undocumented interface cannot land.
+   field), and no sublibrary may ship with ZERO interface files — a
+   library whose every module is implementation-only has no documented
+   surface at all, which is how interface gaps slipped in before this
+   check existed.  Exit 0 when clean; exit 1 listing each offender
+   otherwise, so an undocumented interface cannot land.
 
      doc_lint.exe LIB_DIR        # normally: doc_lint.exe lib *)
 
@@ -25,21 +28,34 @@ let () =
         List.filter (fun (m : Doc_scan.mli) -> m.synopsis = None) s.mlis)
       sublibs
   in
+  let bare = List.filter (fun (s : Doc_scan.sublib) -> s.mlis = []) sublibs in
   let total =
     List.fold_left (fun n (s : Doc_scan.sublib) -> n + List.length s.mlis) 0 sublibs
   in
-  match undocumented with
-  | [] ->
+  match (undocumented, bare) with
+  | [], [] ->
       Printf.printf
         "doc_lint: ok (%d .mli files across %d sublibraries, all carry a \
          leading (** ... *) synopsis)\n"
         total (List.length sublibs)
-  | offenders ->
+  | offenders, bare ->
       List.iter
         (fun (m : Doc_scan.mli) ->
           Printf.eprintf
             "doc_lint: %s: missing leading (** ... *) synopsis\n" m.path)
         offenders;
-      Printf.eprintf "doc_lint: %d of %d .mli file(s) undocumented\n"
-        (List.length offenders) total;
+      List.iter
+        (fun (s : Doc_scan.sublib) ->
+          Printf.eprintf
+            "doc_lint: %s (library %s): no .mli files — every module is an \
+             undocumented implementation\n"
+            s.dir s.libname)
+        bare;
+      if offenders <> [] then
+        Printf.eprintf "doc_lint: %d of %d .mli file(s) undocumented\n"
+          (List.length offenders) total;
+      if bare <> [] then
+        Printf.eprintf "doc_lint: %d sublibrar%s without any interface file\n"
+          (List.length bare)
+          (if List.length bare = 1 then "y" else "ies");
       exit 1

@@ -525,6 +525,88 @@ let test_service_profit_and_check_not_cached () =
     | J.Bool false, J.String e -> not (contains e "crashed")
     | _ -> false)
 
+let test_service_double_oracle_method () =
+  with_daemon ~workers:1 ~cache_key:Service.Daemon_service.cache_key
+    Service.Daemon_service.handle
+  @@ fun path ->
+  (* C5 with k=2: no closed-form characterization, but the double-oracle
+     loop solves it (value 4/5 — see test_solver.ml). *)
+  let g6 = Netgraph.Graph6.encode (Netgraph.Gen.cycle 5) in
+  let q fields =
+    J.Obj
+      ([ ("op", J.String "solve"); ("graph6", J.String g6) ] @ fields)
+  in
+  let base = [ ("k", J.Int 2); ("nu", J.Int 2) ] in
+  let r1 = get path (q (base @ [ ("method", J.String "double-oracle") ])) in
+  Alcotest.(check bool) "double-oracle solve ok" true
+    (field "ok" r1 = J.Bool true);
+  Alcotest.(check bool) "value 4/5" true
+    (J.member "value" (field "result" r1) = Some (J.String "4/5"));
+  Alcotest.(check bool) "gain 8/5" true
+    (J.member "gain" (field "result" r1) = Some (J.String "8/5"));
+  Alcotest.(check bool) "verdict confirmed" true
+    (J.member "verdict" (field "result" r1) = Some (J.String "confirmed"));
+  (* the characterization answer for the same instance lives under a
+     DIFFERENT cache key: it must be a miss, and a negative answer *)
+  let r2 = get path (q base) in
+  Alcotest.(check bool) "characterization is a separate key" true
+    (field "cached" r2 = J.Bool false);
+  Alcotest.(check bool) "characterization has no closed form" true
+    (J.member "solvable" (field "result" r2) = Some (J.Bool false));
+  (* resending the double-oracle request hits its own entry *)
+  let r3 = get path (q (base @ [ ("method", J.String "double-oracle") ])) in
+  Alcotest.(check bool) "double-oracle resend hits" true
+    (field "cached" r3 = J.Bool true);
+  Alcotest.(check string) "identical cached payload"
+    (J.to_string (field "result" r1))
+    (J.to_string (field "result" r3));
+  (* spelling out the default method maps to the characterization key *)
+  let r4 = get path (q (base @ [ ("method", J.String "characterization") ])) in
+  Alcotest.(check bool) "explicit default method hits the same entry" true
+    (field "cached" r4 = J.Bool true);
+  (* the subgraph game solves under double-oracle only *)
+  let r5 =
+    get path
+      (q
+         [
+           ("game", J.String "subgraph");
+           ("lambda", J.Int 2);
+           ("nu", J.Int 2);
+           ("method", J.String "double-oracle");
+         ])
+  in
+  Alcotest.(check bool) "subgraph double-oracle ok" true
+    (field "ok" r5 = J.Bool true);
+  Alcotest.(check bool) "subgraph value 2/5" true
+    (J.member "value" (field "result" r5) = Some (J.String "2/5"))
+
+let test_service_equilibrium_check_oracle_mode () =
+  with_daemon ~workers:1 ~cache_key:Service.Daemon_service.cache_key
+    Service.Daemon_service.handle
+  @@ fun path ->
+  let g = Netgraph.Gen.path 6 in
+  let m = Defender.Model.make ~graph:g ~nu:3 ~k:2 in
+  let prof =
+    match Defender.Tuple_nash.a_tuple_auto m with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "solver failed: %s" e
+  in
+  let r =
+    get path
+      (J.Obj
+         [
+           ("op", J.String "equilibrium-check");
+           ("graph6", J.String (Netgraph.Graph6.encode g));
+           ("k", J.Int 2);
+           ("nu", J.Int 3);
+           ("profile", J.String (Defender.Profile_io.to_string prof));
+           ("mode", J.String "oracle");
+         ])
+  in
+  Alcotest.(check bool) "oracle-mode check ok" true (field "ok" r = J.Bool true);
+  Alcotest.(check bool) "confirmed" true
+    (J.member "confirmed" (field "result" r) = Some (J.Bool true))
+
 let () =
   Alcotest.run "daemon"
     [
@@ -567,5 +649,9 @@ let () =
             test_service_solve_shares_cache_across_relabelings;
           Alcotest.test_case "profit/check uncached" `Quick
             test_service_profit_and_check_not_cached;
+          Alcotest.test_case "double-oracle method" `Quick
+            test_service_double_oracle_method;
+          Alcotest.test_case "oracle-mode equilibrium check" `Quick
+            test_service_equilibrium_check_oracle_mode;
         ] );
     ]

@@ -203,7 +203,7 @@ let test_simplex_textbook () =
   let c = qa [| 3; 5 |] in
   match Lp.Simplex.maximize ~a ~b ~c with
   | Lp.Simplex.Unbounded -> Alcotest.fail "bounded LP"
-  | Lp.Simplex.Optimal { objective; x; dual } ->
+  | Lp.Simplex.Optimal { objective; x; dual; _ } ->
       Alcotest.check q "objective 36" (Q.of_int 36) objective;
       Alcotest.check q "x" (Q.of_int 2) x.(0);
       Alcotest.check q "y" (Q.of_int 6) x.(1);

@@ -272,6 +272,59 @@ let test_dynamics_record () =
   ignore (Sim.Dynamics.run ~record (Rng.create 23) m ~max_steps:200);
   Alcotest.(check bool) "steps recorded" true (!steps > 0)
 
+(* --- Convergence traces --- *)
+
+module C = Sim.Convergence
+
+let pt i value lower upper =
+  { C.iteration = i; value; lower; upper }
+
+let qt = Alcotest.testable Q.pp Q.equal
+
+let test_convergence_basic () =
+  let t = C.create () in
+  Alcotest.(check int) "empty" 0 (C.length t);
+  Alcotest.(check bool) "no final" true (C.final t = None);
+  Alcotest.(check (list (pair int int)) "no points" [])
+    (List.map (fun _ -> (0, 0)) (C.points t));
+  C.record t (pt 1 Q.one Q.zero Q.one);
+  C.record t (pt 2 (Q.make 1 2) (Q.make 1 2) Q.one);
+  Alcotest.(check int) "length" 2 (C.length t);
+  Alcotest.(check (list qt)) "gaps" [ Q.one; Q.make 1 2 ] (C.gaps t)
+
+let test_convergence_gapless () =
+  let t = C.create () in
+  C.record t (pt 1 Q.one Q.zero Q.one);
+  Alcotest.check_raises "gap rejected"
+    (Invalid_argument "Convergence.record: iteration 3 after 1 (gapless)")
+    (fun () -> C.record t (pt 3 Q.one Q.zero Q.one))
+
+let test_convergence_envelope () =
+  (* Regression: the envelope's FIRST entry must use the first point's
+     bounds, not the final refs ([::] has no evaluation-order
+     guarantee, and an earlier version computed the head after the
+     mutating map over the tail). *)
+  let t = C.create () in
+  C.record t (pt 1 Q.one Q.zero Q.one);
+  C.record t (pt 2 (Q.make 1 2) (Q.make 1 2) Q.one);
+  C.record t (pt 3 Q.one Q.zero Q.one);
+  C.record t (pt 4 (Q.make 2 3) (Q.make 2 3) (Q.make 2 3));
+  Alcotest.(check (list qt)) "envelope"
+    [ Q.one; Q.make 1 2; Q.make 1 2; Q.zero ]
+    (C.envelope t);
+  Alcotest.(check bool) "non-increasing" true
+    (let rec scan = function
+       | a :: (b :: _ as rest) -> Q.( >= ) a b && scan rest
+       | _ -> true
+     in
+     scan (C.envelope t));
+  Alcotest.(check (option int)) "converged at 4" (Some 4) (C.converged_at t)
+
+let test_convergence_not_converged () =
+  let t = C.create () in
+  C.record t (pt 1 Q.one Q.zero Q.one);
+  Alcotest.(check (option int)) "open gap" None (C.converged_at t)
+
 let () =
   Alcotest.run "sim"
     [
@@ -305,5 +358,14 @@ let () =
           Alcotest.test_case "atlas agreement with thm 3.1" `Quick
             test_dynamics_agrees_with_theorem31_on_atlas;
           Alcotest.test_case "record callback" `Quick test_dynamics_record;
+        ] );
+      ( "convergence",
+        [
+          Alcotest.test_case "basic recording" `Quick test_convergence_basic;
+          Alcotest.test_case "gapless validation" `Quick
+            test_convergence_gapless;
+          Alcotest.test_case "envelope head regression" `Quick
+            test_convergence_envelope;
+          Alcotest.test_case "open gap" `Quick test_convergence_not_converged;
         ] );
     ]
